@@ -1,0 +1,52 @@
+// Command qasm assembles queue machine assembly source into a JSON object
+// file.
+//
+// Usage:
+//
+//	qasm prog.qasm [-o prog.qobj]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"queuemachine/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output path (default: input with .qobj)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qasm [-o out.qobj] program.qasm")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	dest := *out
+	if dest == "" {
+		dest = strings.TrimSuffix(path, ".qasm") + ".qobj"
+	}
+	blob, err := json.MarshalIndent(obj, "", " ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(dest, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d graphs)\n", dest, len(obj.Graphs))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qasm: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Command qdis disassembles a JSON object file back to assembly text.
+//
+// Usage:
+//
+//	qdis prog.qobj
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"queuemachine/internal/asm"
+	"queuemachine/internal/isa"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qdis program.qobj")
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var obj isa.Object
+	if err := json.Unmarshal(blob, &obj); err != nil {
+		fatal(err)
+	}
+	if err := obj.Validate(); err != nil {
+		fatal(err)
+	}
+	text, err := asm.Disassemble(&obj)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(text)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qdis: %v\n", err)
+	os.Exit(1)
+}

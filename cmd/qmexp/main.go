@@ -1,0 +1,54 @@
+// Command qmexp regenerates the thesis's tables and figures.
+//
+// Usage:
+//
+//	qmexp -list            list experiment identifiers
+//	qmexp -e table3.2      run one experiment
+//	qmexp -all             run every experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"queuemachine/internal/experiments"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list experiments")
+		id   = flag.String("e", "", "experiment id to run")
+		all  = flag.Bool("all", false, "run every experiment")
+	)
+	flag.Parse()
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+			if err := e.Run(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "qmexp: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	case *id != "":
+		e, ok := experiments.ByID(*id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "qmexp: unknown experiment %q (try -list)\n", *id)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "qmexp: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,68 @@
+// Command qsim executes a JSON object file on the simulated queue machine
+// multiprocessor and reports the run statistics of the Chapter 6 tables.
+//
+// Usage:
+//
+//	qsim -pes 4 prog.qobj
+//	qsim -pes 8 -dump prog.qobj     also dump the final data segment
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"queuemachine/internal/isa"
+	"queuemachine/internal/sim"
+)
+
+func main() {
+	var (
+		pes  = flag.Int("pes", 1, "number of processing elements")
+		dump = flag.Bool("dump", false, "dump the final data segment")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qsim [-pes N] [-dump] program.qobj")
+		os.Exit(2)
+	}
+	blob, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	var obj isa.Object
+	if err := json.Unmarshal(blob, &obj); err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(&obj, *pes, sim.DefaultParams())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("processing elements  %d\n", res.NumPEs)
+	fmt.Printf("cycles               %d\n", res.Cycles)
+	fmt.Printf("instructions         %d\n", res.Instructions)
+	fmt.Printf("utilization          %.3f\n", res.Utilization())
+	fmt.Printf("contexts created     %d (rfork %d, ifork %d)\n",
+		res.Kernel.ContextsCreated, res.Kernel.RForks, res.Kernel.IForks)
+	fmt.Printf("context switches     %d (+%d resumes, %d registers rolled out)\n",
+		res.Switches, res.Resumes, res.RolledRegisters)
+	fmt.Printf("channel rendezvous   %d (cache hits %d, misses %d, evictions %d)\n",
+		res.Cache.Rendezvous, res.Cache.Hits, res.Cache.Misses, res.Cache.Evictions)
+	fmt.Printf("ring messages        %d (%d wait cycles)\n", res.Ring.Messages, res.Ring.WaitCycles)
+	fmt.Printf("memory traffic       %d reads, %d writes\n", res.MemReads, res.MemWrites)
+	fmt.Printf("avg queue length     %.2f words\n", res.AvgQueueLength())
+	if *dump {
+		fmt.Printf("data segment (%d words):\n", len(res.Data))
+		for i, v := range res.Data {
+			if v != 0 {
+				fmt.Printf("  [%d] = %d\n", i, v)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qsim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,16 @@
+// Package queuemachine is a complete reproduction of Bruno R. Preiss's
+// thesis "Data Flow on a Queue Machine" (University of Toronto, 1985): the
+// pseudo-static data-flow execution model, the simple and indexed queue
+// machines, the OCCAM compiler that partitions programs into acyclic
+// data-flow graphs spliced together at run time, the queue machine
+// processing element with its sliding register window, and the partitioned
+// ring-bus multiprocessor simulation used for the Chapter 6 evaluation.
+//
+// The library lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the compiler (occ), assembler (qasm),
+// disassembler (qdis), simulator (qsim) and experiment driver (qmexp);
+// examples/ holds runnable walk-throughs. The benchmarks in this package
+// regenerate every table and figure of the thesis's evaluation — run
+// `go test -bench=. -benchmem` and see EXPERIMENTS.md for the
+// paper-versus-measured record.
+package queuemachine

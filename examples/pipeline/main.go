@@ -1,0 +1,38 @@
+// Pipeline reproduces the §3.4 study: queue vs stack execution of every
+// expression parse tree on a pipelined ALU (Tables 3.2 and 3.3).
+//
+// Run with: go run ./examples/pipeline [-nodes 11] [-stages 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"queuemachine/internal/exprgen"
+	"queuemachine/internal/pipesim"
+)
+
+func main() {
+	maxNodes := flag.Int("nodes", 11, "largest parse tree size to sweep")
+	maxStages := flag.Int("stages", 6, "deepest ALU pipeline to sweep")
+	flag.Parse()
+
+	fmt.Println("Table 3.2 — speed-up vs parse tree size (two-stage ALU):")
+	fmt.Printf("%-6s %-8s %-8s %-8s\n", "nodes", "trees", "case 1", "case 2")
+	for n := 1; n <= *maxNodes; n++ {
+		r1 := pipesim.Sweep(n, 2, pipesim.Case1, exprgen.ForEach)
+		r2 := pipesim.Sweep(n, 2, pipesim.Case2, exprgen.ForEach)
+		fmt.Printf("%-6d %-8d %-8.2f %-8.2f\n", n, r1.Trees, r1.SpeedUp(), r2.SpeedUp())
+	}
+
+	fmt.Printf("\nTable 3.3 — speed-up vs pipeline depth (%d-node trees):\n", *maxNodes)
+	fmt.Printf("%-8s %-8s %-8s\n", "stages", "case 1", "case 2")
+	for s := 1; s <= *maxStages; s++ {
+		r1 := pipesim.Sweep(*maxNodes, s, pipesim.Case1, exprgen.ForEach)
+		r2 := pipesim.Sweep(*maxNodes, s, pipesim.Case2, exprgen.ForEach)
+		fmt.Printf("%-8d %-8.2f %-8.2f\n", s, r1.SpeedUp(), r2.SpeedUp())
+	}
+	fmt.Println("\nThe queue machine meets or beats the stack machine on every tree;")
+	fmt.Println("under case 1 its advantage grows with pipeline depth, and under the")
+	fmt.Println("overlapped-fetch case 2 it peaks at a two-stage ALU (§3.4).")
+}

@@ -1,0 +1,79 @@
+// Quickstart: the queue machine in three steps.
+//
+//  1. Evaluate an arithmetic expression on the simple queue machine (and
+//     the stack machine for comparison), reproducing Table 3.1.
+//  2. Compile a small OCCAM program with the Chapter 4 compiler.
+//  3. Execute it on the simulated multiprocessor and read the result back
+//     out of the data segment.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"queuemachine/internal/bintree"
+	"queuemachine/internal/core"
+	"queuemachine/internal/queue"
+)
+
+func main() {
+	// Step 1: f := a*b + (c-d)/e on the simple queue machine.
+	const expr = "a*b + (c-d)/e"
+	tree := bintree.MustParseExpr(expr)
+	env := queue.Env{"a": 7, "b": 3, "c": 20, "d": 6, "e": 2}
+
+	fmt.Printf("expression: f := %s with %v\n\n", expr, env)
+	fmt.Println("queue machine executes the level-order traversal:")
+	states, result, err := queue.TraceSimple(queue.CompileTreeSymbolic(bintree.LevelOrder(tree)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(queue.FormatTrace(states))
+	fmt.Printf("symbolic result: %s\n", result)
+
+	qseq, err := queue.CompileTree(bintree.LevelOrder(tree), env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qv, err := queue.EvalSimple(qseq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sseq, err := queue.CompileTree(bintree.PostOrder(tree), env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sv, err := queue.EvalStack(sseq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("queue machine: %d   stack machine: %d\n\n", qv, sv)
+
+	// Steps 2 and 3: compile and run an OCCAM program that sums the
+	// squares 1..10 in a while loop spliced across dynamic contexts.
+	src := `var v[1], sum, k:
+seq
+  sum := 0
+  k := 1
+  while k <= 10
+    seq
+      sum := sum + (k * k)
+      k := k + 1
+  v[0] := sum
+`
+	fmt.Println("OCCAM program:")
+	fmt.Println(src)
+	res, art, err := core.Run(src, 2, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := art.VectorBase("v")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum of squares 1..10 = %d (want 385)\n", res.Data[base/4])
+	fmt.Printf("executed %d instructions in %d cycles across %d dynamic contexts on 2 PEs\n",
+		res.Instructions, res.Cycles, res.Kernel.ContextsCreated)
+}

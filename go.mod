@@ -1,0 +1,3 @@
+module queuemachine
+
+go 1.24

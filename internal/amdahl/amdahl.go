@@ -1,0 +1,90 @@
+// Package amdahl implements the analytic speed-up models of Chapter 6:
+// Amdahl's law (Figure 6.6, plotted there with f = 0.93) and the thesis's
+// modified Amdahl's law (Figure 6.7, f = 0.63 and g = 0.3).
+//
+// The modified law is reconstructed from the figure caption and the
+// mechanism the thesis identifies for super-linear speed-up: single-
+// processor execution time divides into a serial part (1−f−g), a linearly
+// parallelizable part f, and a context-management overhead part g —
+// register-window roll-outs on context switches and message-cache
+// contention — that shrinks quadratically with the processor count, because
+// both the number of contexts resident per processor and the frequency of
+// switches fall together:
+//
+//	T(n)/T(1) = (1 − f − g) + f/n + g/n²
+//	S(n)      = 1 / ((1 − f − g) + f/n + g/n²)
+//
+// With f = 0.63, g = 0.3 this gives S(2) ≈ 2.2 and S(4) ≈ 4.1 — better than
+// linear over the machine sizes the thesis simulates.
+package amdahl
+
+// Speedup is Amdahl's law: S(n) = 1 / ((1−f) + f/n) for a parallelizable
+// fraction f.
+func Speedup(f float64, n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	return 1 / ((1 - f) + f/float64(n))
+}
+
+// ModifiedSpeedup is the thesis's modified law with the quadratically
+// vanishing overhead fraction g.
+func ModifiedSpeedup(f, g float64, n int) float64 {
+	if n < 1 {
+		return 0
+	}
+	fn := float64(n)
+	return 1 / ((1 - f - g) + f/fn + g/(fn*fn))
+}
+
+// Curve tabulates a model over processor counts.
+func Curve(model func(n int) float64, ns []int) []float64 {
+	out := make([]float64, len(ns))
+	for i, n := range ns {
+		out[i] = model(n)
+	}
+	return out
+}
+
+// FitAmdahl finds the parallel fraction f in [0,1] minimizing the summed
+// squared error against measured speed-ups, by deterministic grid search
+// with refinement.
+func FitAmdahl(ns []int, measured []float64) (f float64) {
+	return fit1(func(f float64, n int) float64 { return Speedup(f, n) }, ns, measured)
+}
+
+// FitModified finds (f, g) with f,g ≥ 0 and f+g ≤ 1 minimizing the summed
+// squared error of the modified law against measured speed-ups.
+func FitModified(ns []int, measured []float64) (f, g float64) {
+	bestErr := -1.0
+	step := 0.01
+	for ff := 0.0; ff <= 1.0+1e-9; ff += step {
+		for gg := 0.0; ff+gg <= 1.0+1e-9; gg += step {
+			e := sqErr(func(n int) float64 { return ModifiedSpeedup(ff, gg, n) }, ns, measured)
+			if bestErr < 0 || e < bestErr {
+				bestErr, f, g = e, ff, gg
+			}
+		}
+	}
+	return f, g
+}
+
+func fit1(model func(f float64, n int) float64, ns []int, measured []float64) float64 {
+	best, bestErr := 0.0, -1.0
+	for ff := 0.0; ff <= 1.0+1e-9; ff += 0.001 {
+		e := sqErr(func(n int) float64 { return model(ff, n) }, ns, measured)
+		if bestErr < 0 || e < bestErr {
+			best, bestErr = ff, e
+		}
+	}
+	return best
+}
+
+func sqErr(model func(n int) float64, ns []int, measured []float64) float64 {
+	var e float64
+	for i, n := range ns {
+		d := model(n) - measured[i]
+		e += d * d
+	}
+	return e
+}

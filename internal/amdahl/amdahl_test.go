@@ -1,0 +1,88 @@
+package amdahl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAmdahlLaw(t *testing.T) {
+	// S(1) = 1 always; S(n) -> 1/(1-f) as n grows.
+	for _, f := range []float64{0, 0.5, 0.93} {
+		if got := Speedup(f, 1); math.Abs(got-1) > 1e-12 {
+			t.Errorf("S(1) with f=%.2f = %f", f, got)
+		}
+	}
+	// The Figure 6.6 curve: f = 0.93.
+	if got := Speedup(0.93, 8); math.Abs(got-1/(0.07+0.93/8)) > 1e-12 {
+		t.Errorf("S(8) = %f", got)
+	}
+	// Sublinear always.
+	for n := 1; n <= 16; n++ {
+		if Speedup(0.93, n) > float64(n)+1e-12 {
+			t.Errorf("Amdahl superlinear at n=%d", n)
+		}
+	}
+	if Speedup(0.5, 0) != 0 {
+		t.Error("n=0 should give 0")
+	}
+}
+
+// TestModifiedLawSuperlinear verifies the Figure 6.7 reconstruction: with
+// f = 0.63, g = 0.3 the modified law exceeds linear speed-up over the
+// simulated machine sizes (2..4 processors).
+func TestModifiedLawSuperlinear(t *testing.T) {
+	if got := ModifiedSpeedup(0.63, 0.3, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("S(1) = %f", got)
+	}
+	for _, n := range []int{2, 3, 4} {
+		s := ModifiedSpeedup(0.63, 0.3, n)
+		if s <= float64(n) {
+			t.Errorf("modified law not superlinear at n=%d: %f", n, s)
+		}
+	}
+	// The overhead term vanishes: the law approaches Amdahl with serial
+	// fraction 1-f-g from above.
+	limit := 1 / (1 - 0.63 - 0.3)
+	if s := ModifiedSpeedup(0.63, 0.3, 1000); s > limit {
+		t.Errorf("S(inf) = %f exceeds %f", s, limit)
+	}
+	if ModifiedSpeedup(0.5, 0.2, 0) != 0 {
+		t.Error("n=0 should give 0")
+	}
+}
+
+func TestCurve(t *testing.T) {
+	ns := []int{1, 2, 4, 8}
+	c := Curve(func(n int) float64 { return Speedup(0.93, n) }, ns)
+	if len(c) != 4 || c[0] != 1 {
+		t.Errorf("curve = %v", c)
+	}
+	for i := 1; i < len(c); i++ {
+		if c[i] <= c[i-1] {
+			t.Error("curve not increasing")
+		}
+	}
+}
+
+func TestFitRecoversParameters(t *testing.T) {
+	ns := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	// Generate measurements from known parameters and recover them.
+	meas := Curve(func(n int) float64 { return Speedup(0.93, n) }, ns)
+	if f := FitAmdahl(ns, meas); math.Abs(f-0.93) > 0.002 {
+		t.Errorf("FitAmdahl = %f, want 0.93", f)
+	}
+	meas = Curve(func(n int) float64 { return ModifiedSpeedup(0.63, 0.30, n) }, ns)
+	f, g := FitModified(ns, meas)
+	if math.Abs(f-0.63) > 0.02 || math.Abs(g-0.30) > 0.02 {
+		t.Errorf("FitModified = %f, %f; want 0.63, 0.30", f, g)
+	}
+}
+
+func TestFitNoisy(t *testing.T) {
+	ns := []int{1, 2, 4, 8}
+	meas := []float64{1.0, 2.1, 4.3, 6.9}
+	f, g := FitModified(ns, meas)
+	if f < 0 || g < 0 || f+g > 1.0+1e-9 {
+		t.Errorf("fit out of domain: %f, %f", f, g)
+	}
+}

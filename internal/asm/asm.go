@@ -1,0 +1,405 @@
+// Package asm implements a two-pass assembler and a disassembler for the
+// queue machine assembly language of §5.3.4:
+//
+//	opcode[+n] [src1[,src2]] [:dst1[,dst2]] [>]
+//
+// The QP increment is written +n (or a run of + signs); sources are
+// registers (r0..r31 or symbolic names), immediates (#n), graph references
+// (@graphname, resolved to the graph's index, used as fork trap operands)
+// or branch labels (@label, resolved to a PC-relative word offset);
+// destinations are registers, or queue offsets for dup instructions. A
+// trailing > sets the continue flag.
+//
+// Directives:
+//
+//	.graph name [queue=N]   start a new graph (operand queue page N words)
+//	.entry name             select the initial context's graph
+//	.data N                 size of the static data segment in words
+//	.init ADDR VALUE        initialize data word ADDR to VALUE
+//	label:                  define a branch target
+//	; comment               (also after instructions)
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"queuemachine/internal/isa"
+)
+
+// Assemble translates assembly source into an object program.
+func Assemble(src string) (*isa.Object, error) {
+	a := &assembler{
+		obj: &isa.Object{DataInit: map[int]int32{}, Entry: -1},
+	}
+	lines := strings.Split(src, "\n")
+	for num, raw := range lines {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("asm: line %d: %w", num+1, err)
+		}
+	}
+	a.flushGraph()
+	if err := a.link(); err != nil {
+		return nil, err
+	}
+	if a.obj.Entry == -1 {
+		a.obj.Entry = 0
+	}
+	if err := a.obj.Validate(); err != nil {
+		return nil, err
+	}
+	return a.obj, nil
+}
+
+type pending struct {
+	instr    isa.Instr
+	branch   string // unresolved branch label for src2
+	graphRef string // unresolved graph-name reference for src2
+	pc       int    // word address of the instruction
+	line     string
+}
+
+type graphDraft struct {
+	name       string
+	queueWords int
+	labels     map[string]int
+	code       []pending
+}
+
+type assembler struct {
+	obj       *isa.Object
+	cur       *graphDraft
+	pc        int
+	drafts    []graphDraft
+	entryName string
+}
+
+func (a *assembler) line(raw string) error {
+	if i := strings.IndexByte(raw, ';'); i >= 0 {
+		raw = raw[:i]
+	}
+	s := strings.TrimSpace(raw)
+	if s == "" {
+		return nil
+	}
+	switch {
+	case strings.HasPrefix(s, ".graph"):
+		a.flushGraph()
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return fmt.Errorf(".graph needs a name")
+		}
+		g := &graphDraft{name: fields[1], queueWords: isa.MaxQueuePage, labels: map[string]int{}}
+		for _, f := range fields[2:] {
+			if v, ok := strings.CutPrefix(f, "queue="); ok {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("bad queue size %q", v)
+				}
+				g.queueWords = n
+			} else {
+				return fmt.Errorf("unknown .graph option %q", f)
+			}
+		}
+		a.cur = g
+		a.pc = 0
+		return nil
+	case strings.HasPrefix(s, ".entry"):
+		fields := strings.Fields(s)
+		if len(fields) != 2 {
+			return fmt.Errorf(".entry needs a graph name")
+		}
+		a.entryName = fields[1]
+		return nil
+	case strings.HasPrefix(s, ".data"):
+		fields := strings.Fields(s)
+		if len(fields) != 2 {
+			return fmt.Errorf(".data needs a word count")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad data size %q", fields[1])
+		}
+		a.obj.DataWords = n
+		return nil
+	case strings.HasPrefix(s, ".init"):
+		fields := strings.Fields(s)
+		if len(fields) != 3 {
+			return fmt.Errorf(".init needs an address and a value")
+		}
+		addr, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("bad init address %q", fields[1])
+		}
+		val, err := strconv.ParseInt(fields[2], 0, 33)
+		if err != nil {
+			return fmt.Errorf("bad init value %q", fields[2])
+		}
+		a.obj.DataInit[addr] = int32(val)
+		return nil
+	case strings.HasSuffix(s, ":") && !strings.ContainsAny(s, " \t"):
+		if a.cur == nil {
+			return fmt.Errorf("label outside .graph")
+		}
+		name := strings.TrimSuffix(s, ":")
+		if _, dup := a.cur.labels[name]; dup {
+			return fmt.Errorf("duplicate label %q", name)
+		}
+		a.cur.labels[name] = a.pc
+		return nil
+	}
+	if a.cur == nil {
+		return fmt.Errorf("instruction outside .graph: %q", s)
+	}
+	p, err := parseInstr(s)
+	if err != nil {
+		return err
+	}
+	p.pc = a.pc
+	a.pc += p.instr.Words()
+	a.cur.code = append(a.cur.code, p)
+	return nil
+}
+
+func (a *assembler) flushGraph() {
+	if a.cur != nil {
+		a.drafts = append(a.drafts, *a.cur)
+		a.cur = nil
+	}
+}
+
+// link resolves branch labels and graph references, encodes every draft and
+// assembles the final object.
+func (a *assembler) link() error {
+	graphIndex := map[string]int{}
+	for i, d := range a.drafts {
+		if _, dup := graphIndex[d.name]; dup {
+			return fmt.Errorf("asm: duplicate graph %q", d.name)
+		}
+		graphIndex[d.name] = i
+	}
+	for _, d := range a.drafts {
+		var words []uint32
+		for _, p := range d.code {
+			switch {
+			case p.branch != "":
+				target, ok := d.labels[p.branch]
+				if !ok {
+					return fmt.Errorf("asm: graph %q: undefined label %q", d.name, p.branch)
+				}
+				p.instr.Src2 = isa.Src{Mode: isa.SrcWordImm, Imm: int32(target - (p.pc + p.instr.Words()))}
+			case p.graphRef != "":
+				gi, ok := graphIndex[p.graphRef]
+				if !ok {
+					return fmt.Errorf("asm: graph %q: undefined graph reference @%s", d.name, p.graphRef)
+				}
+				p.instr.Src2 = isa.Src{Mode: isa.SrcWordImm, Imm: int32(gi)}
+			}
+			w, err := p.instr.Encode()
+			if err != nil {
+				return fmt.Errorf("asm: graph %q %q: %w", d.name, p.line, err)
+			}
+			words = append(words, w...)
+		}
+		a.obj.Graphs = append(a.obj.Graphs, isa.GraphCode{
+			Name:       d.name,
+			Code:       words,
+			QueueWords: d.queueWords,
+		})
+		if d.name == a.entryName {
+			a.obj.Entry = len(a.obj.Graphs) - 1
+		}
+	}
+	if a.entryName != "" && a.obj.Entry == -1 {
+		return fmt.Errorf("asm: .entry graph %q not defined", a.entryName)
+	}
+	return nil
+}
+
+func parseInstr(s string) (pending, error) {
+	p := pending{line: s}
+	if strings.HasSuffix(s, ">") {
+		p.instr.Cont = true
+		s = strings.TrimSpace(strings.TrimSuffix(s, ">"))
+	}
+	var dstPart string
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		dstPart = strings.TrimSpace(s[i+1:])
+		s = strings.TrimSpace(s[:i])
+	}
+	var mnemonic, srcPart string
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, srcPart = s[:i], strings.TrimSpace(s[i+1:])
+	} else {
+		mnemonic = s
+	}
+	qpinc := 0
+	if i := strings.IndexByte(mnemonic, '+'); i >= 0 {
+		suffix := mnemonic[i:]
+		mnemonic = mnemonic[:i]
+		if rest := strings.TrimLeft(suffix, "+"); rest != "" {
+			n, err := strconv.Atoi(rest)
+			if err != nil || strings.Count(suffix, "+") != 1 {
+				return p, fmt.Errorf("bad QP increment %q", suffix)
+			}
+			qpinc = n
+		} else {
+			qpinc = strings.Count(suffix, "+")
+		}
+	}
+	op, ok := isa.ByMnemonic(mnemonic)
+	if !ok {
+		return p, fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	info, _ := isa.Lookup(op)
+	p.instr.Op = op
+	p.instr.QPInc = qpinc
+
+	if p.instr.IsDup() {
+		if qpinc != 0 {
+			return p, fmt.Errorf("dup instructions take no QP increment")
+		}
+		if srcPart != "" {
+			return p, fmt.Errorf("dup instructions take no sources")
+		}
+		offs, err := splitList(dstPart)
+		if err != nil {
+			return p, err
+		}
+		want := 1
+		if op == isa.OpDup2 {
+			want = 2
+		}
+		if len(offs) != want {
+			return p, fmt.Errorf("%s needs %d destination(s), got %d", mnemonic, want, len(offs))
+		}
+		for i, o := range offs {
+			n, err := parseQueueOffset(o)
+			if err != nil {
+				return p, err
+			}
+			if i == 0 {
+				p.instr.Dst1 = n
+			} else {
+				p.instr.Dst2 = n
+			}
+		}
+		return p, nil
+	}
+
+	p.instr.Dst1, p.instr.Dst2 = isa.RegDummy, isa.RegDummy
+	srcs, err := splitList(srcPart)
+	if err != nil {
+		return p, err
+	}
+	if len(srcs) != info.Srcs {
+		return p, fmt.Errorf("%s needs %d source(s), got %d", mnemonic, info.Srcs, len(srcs))
+	}
+	for i, ssrc := range srcs {
+		if name, ok := strings.CutPrefix(ssrc, "@"); ok {
+			if i != 1 {
+				return p, fmt.Errorf("@%s reference only allowed as the second operand", name)
+			}
+			if info.Branch {
+				p.branch = name
+			} else if info.Trap {
+				p.graphRef = name
+			} else {
+				return p, fmt.Errorf("@%s reference not allowed for %s", name, mnemonic)
+			}
+			// Placeholder sized like the final word immediate.
+			p.instr.Src2 = isa.Src{Mode: isa.SrcWordImm}
+			continue
+		}
+		src, err := parseSrc(ssrc)
+		if err != nil {
+			return p, err
+		}
+		if i == 0 {
+			p.instr.Src1 = src
+		} else {
+			p.instr.Src2 = src
+		}
+	}
+	dsts, err := splitList(dstPart)
+	if err != nil {
+		return p, err
+	}
+	if len(dsts) > 2 {
+		return p, fmt.Errorf("at most two destinations, got %d", len(dsts))
+	}
+	for i, d := range dsts {
+		r, err := parseReg(d)
+		if err != nil {
+			return p, err
+		}
+		if i == 0 {
+			p.instr.Dst1 = r
+		} else {
+			p.instr.Dst2 = r
+		}
+	}
+	return p, nil
+}
+
+func splitList(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("empty operand in list %q", s)
+		}
+		out = append(out, part)
+	}
+	return out, nil
+}
+
+var regNames = map[string]int{
+	"dummy": isa.RegDummy, "cin": isa.RegCIn, "cout": isa.RegCOut,
+	"nar": isa.RegNAR, "pom": isa.RegPOM, "qp": isa.RegQP, "pc": isa.RegPC,
+}
+
+func parseReg(s string) (int, error) {
+	if n, ok := regNames[s]; ok {
+		return n, nil
+	}
+	if v, ok := strings.CutPrefix(s, "r"); ok {
+		n, err := strconv.Atoi(v)
+		if err == nil && n >= 0 && n < isa.NumRegs {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseQueueOffset(s string) (int, error) {
+	v, ok := strings.CutPrefix(s, "r")
+	if !ok {
+		v = s
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 || n >= isa.MaxQueuePage {
+		return 0, fmt.Errorf("bad queue offset %q", s)
+	}
+	return n, nil
+}
+
+func parseSrc(s string) (isa.Src, error) {
+	if v, ok := strings.CutPrefix(s, "#"); ok {
+		n, err := strconv.ParseInt(v, 0, 33)
+		if err != nil {
+			return isa.Src{}, fmt.Errorf("bad immediate %q", s)
+		}
+		return isa.Imm(int32(n)), nil
+	}
+	r, err := parseReg(s)
+	if err != nil {
+		return isa.Src{}, err
+	}
+	return isa.Reg(r), nil
+}

@@ -1,0 +1,242 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"queuemachine/internal/isa"
+)
+
+const sample = `
+; Table 3.1's queue program for f := a*b + (c-d)/e, with the operands in
+; static data words 0..4 and the result stored to word 5.
+.data 6
+.init 0 7
+.init 1 3
+.init 2 20
+.init 3 6
+.init 4 2
+.entry main
+.graph main queue=32
+	fetch #2 :r0        ; c
+	fetch #3 :r1        ; d
+	fetch #0 :r2        ; a
+	fetch #1 :r3        ; b
+	minus++ r0,r1 :r2   ; c-d   (queue: a b (c-d))
+	fetch #4 :r3        ; e     (queue: a b (c-d) e)
+	mul++ r0,r1 :r2     ; a*b   (queue: (c-d) e ab)
+	div++ r0,r1 :r1     ; (c-d)/e
+	plus++ r0,r1 :r0
+	store #5,r0
+	trap #0,#0
+`
+
+func TestAssembleSample(t *testing.T) {
+	obj, err := Assemble(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obj.Graphs) != 1 || obj.Graphs[0].Name != "main" {
+		t.Fatalf("graphs = %+v", obj.Graphs)
+	}
+	if obj.Graphs[0].QueueWords != 32 {
+		t.Errorf("queue = %d", obj.Graphs[0].QueueWords)
+	}
+	if obj.DataWords != 6 || obj.DataInit[2] != 20 {
+		t.Errorf("data = %d %v", obj.DataWords, obj.DataInit)
+	}
+	ins, err := DecodeAll(obj.Graphs[0].Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 11 {
+		t.Fatalf("decoded %d instructions, want 11", len(ins))
+	}
+	if ins[4].Op != isa.OpMinus || ins[4].QPInc != 2 || ins[4].Dst1 != 2 {
+		t.Errorf("minus = %+v", ins[4])
+	}
+}
+
+func TestRoundTripThroughDisassembler(t *testing.T) {
+	obj, err := Assemble(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Disassemble(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reassembling the disassembly must produce identical code. The
+	// disassembler emits addresses as "N:" prefixes; strip them.
+	var clean []string
+	for _, line := range strings.Split(text, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if i := strings.Index(trimmed, ":  "); i > 0 && !strings.HasPrefix(trimmed, ".") {
+			trimmed = strings.TrimSpace(trimmed[i+2:])
+		}
+		clean = append(clean, trimmed)
+	}
+	obj2, err := Assemble(strings.Join(clean, "\n"))
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, strings.Join(clean, "\n"))
+	}
+	if len(obj2.Graphs) != len(obj.Graphs) {
+		t.Fatal("graph count drift")
+	}
+	for i := range obj.Graphs {
+		a, b := obj.Graphs[i].Code, obj2.Graphs[i].Code
+		if len(a) != len(b) {
+			t.Fatalf("graph %d code length drift: %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("graph %d word %d: %08x vs %08x", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	src := `
+.graph main queue=32
+	fetch #0 :r0
+loop:
+	minus r0,#1 :r0
+	gt r0,#0 :r1 >
+	bne+2 r1,@loop
+	trap #0,#0
+`
+	obj, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := DecodeAll(obj.Graphs[0].Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var branch *isa.Instr
+	for i := range ins {
+		if ins[i].Op == isa.OpBne {
+			branch = &ins[i]
+		}
+	}
+	if branch == nil {
+		t.Fatal("no branch found")
+	}
+	if branch.Src2.Mode != isa.SrcWordImm {
+		t.Fatalf("branch target mode = %v", branch.Src2.Mode)
+	}
+	// Word addresses: fetch(2 words: imm#0 is small... #0 is small imm ->
+	// 1 word), minus(1), gt(1), bne(2: label is a word imm). loop: is at
+	// word 1. bne is at word 3..4, next pc = 5, offset = 1 - 5 = -4.
+	if branch.Src2.Imm != -4 {
+		t.Errorf("branch offset = %d, want -4", branch.Src2.Imm)
+	}
+}
+
+func TestGraphReferences(t *testing.T) {
+	src := `
+.entry main
+.graph main queue=32
+	trap #1,@worker :r17,r18
+	trap #0,#0
+.graph worker queue=32
+	trap #0,#0
+`
+	obj, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Entry != 0 {
+		t.Errorf("entry = %d", obj.Entry)
+	}
+	ins, err := DecodeAll(obj.Graphs[0].Code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins[0].Src2.Mode != isa.SrcWordImm || ins[0].Src2.Imm != 1 {
+		t.Errorf("fork operand = %+v, want graph index 1", ins[0].Src2)
+	}
+	if ins[0].Dst1 != 17 || ins[0].Dst2 != 18 {
+		t.Errorf("fork dsts = %d, %d", ins[0].Dst1, ins[0].Dst2)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"instruction outside graph", "plus r0,r1 :r0", "outside .graph"},
+		{"unknown mnemonic", ".graph m\n bogus r0,r1", "unknown mnemonic"},
+		{"bad register", ".graph m\n plus r99,r0 :r0", "bad register"},
+		{"wrong arity", ".graph m\n plus r0 :r0", "source"},
+		{"undefined label", ".graph m\n bne r0,@nowhere", "undefined label"},
+		{"undefined graph ref", ".graph m\n trap #1,@ghost :r17", "undefined graph"},
+		{"duplicate label", ".graph m\nx:\nx:\n plus r0,r0 :r0", "duplicate label"},
+		{"duplicate graph", ".graph m\n plus r0,r0 :r0\n.graph m\n plus r0,r0 :r0", "duplicate graph"},
+		{"label ref on alu", ".graph m\nx:\n plus r0,@x :r0", "not allowed"},
+		{"bad queue", ".graph m queue=x\n plus r0,r0 :r0", "bad queue size"},
+		{"graph needs name", ".graph", "needs a name"},
+		{"data needs count", ".data", "word count"},
+		{"bad data", ".data -1", "bad data size"},
+		{"init arity", ".init 3", "address and a value"},
+		{"bad init addr", ".init x 1", "bad init address"},
+		{"bad init value", ".init 1 zz", "bad init value"},
+		{"bad entry", ".entry", "graph name"},
+		{"missing entry", ".entry ghost\n.graph m\n plus r0,r0 :r0", "not defined"},
+		{"dup with sources", ".graph m\n dup1 r0 :r5", "no sources"},
+		{"dup with qpinc", ".graph m\n dup1+2 :r5", "no QP increment"},
+		{"dup arity", ".graph m\n dup2 :r5", "2 destination"},
+		{"bad dup offset", ".graph m\n dup1 :r300", "bad queue offset"},
+		{"three dsts", ".graph m\n plus r0,r1 :r0,r1,r2", "at most two"},
+		{"empty operand", ".graph m\n plus r0,, :r0", "empty operand"},
+		{"bad immediate", ".graph m\n plus #zz,r0 :r0", "bad immediate"},
+		{"bad qp suffix", ".graph m\n plus+x r0,r1 :r0", "bad QP increment"},
+		{"graph ref first operand", ".graph m\n trap @m,#0", "second operand"},
+		{"label outside graph", "x:", "outside .graph"},
+		{"unknown graph option", ".graph m frobnicate", "unknown .graph option"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not contain %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestQPIncPlusRun(t *testing.T) {
+	src := ".graph m queue=32\n plus+++ r0,r1 :r0\n"
+	obj, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, _ := DecodeAll(obj.Graphs[0].Code)
+	if ins[0].QPInc != 3 {
+		t.Errorf("QPInc = %d, want 3", ins[0].QPInc)
+	}
+}
+
+func TestEmptySourceFails(t *testing.T) {
+	if _, err := Assemble(""); err == nil {
+		t.Error("empty program accepted (no graphs)")
+	}
+}
+
+func TestDisassembleGraphAddresses(t *testing.T) {
+	obj, err := Assemble(".graph g queue=32\n plus #100,r0 :r0\n minus r0,r1 :r1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := DisassembleGraph(obj.Graphs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// plus with a word immediate occupies words 0-1, so minus is at 2.
+	if !strings.Contains(text, "2:  minus") {
+		t.Errorf("disassembly:\n%s", text)
+	}
+}

@@ -1,0 +1,62 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"queuemachine/internal/isa"
+)
+
+// DisassembleGraph renders one graph's instruction stream as assembly text,
+// one instruction per line, prefixed with the word address.
+func DisassembleGraph(g isa.GraphCode) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".graph %s queue=%d\n", g.Name, g.QueueWords)
+	for pc := 0; pc < len(g.Code); {
+		in, n, err := isa.Decode(g.Code[pc:])
+		if err != nil {
+			return b.String(), fmt.Errorf("asm: graph %q pc %d: %w", g.Name, pc, err)
+		}
+		fmt.Fprintf(&b, "%4d:  %s\n", pc, in.String())
+		pc += n
+	}
+	return b.String(), nil
+}
+
+// Disassemble renders a whole object program as assembly text.
+func Disassemble(o *isa.Object) (string, error) {
+	var b strings.Builder
+	if o.DataWords > 0 {
+		fmt.Fprintf(&b, ".data %d\n", o.DataWords)
+	}
+	for addr := 0; addr < o.DataWords; addr++ {
+		if v, ok := o.DataInit[addr]; ok {
+			fmt.Fprintf(&b, ".init %d %d\n", addr, v)
+		}
+	}
+	if o.Entry >= 0 && o.Entry < len(o.Graphs) {
+		fmt.Fprintf(&b, ".entry %s\n", o.Graphs[o.Entry].Name)
+	}
+	for _, g := range o.Graphs {
+		text, err := DisassembleGraph(g)
+		if err != nil {
+			return b.String(), err
+		}
+		b.WriteString(text)
+	}
+	return b.String(), nil
+}
+
+// DecodeAll decodes a graph's full instruction stream.
+func DecodeAll(code []uint32) ([]isa.Instr, error) {
+	var out []isa.Instr
+	for pc := 0; pc < len(code); {
+		in, n, err := isa.Decode(code[pc:])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		pc += n
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+// Package bintree implements the binary expression parse trees of Chapter 3
+// of Preiss's "Data Flow on a Queue Machine", including the level-order
+// precedence relation π_T, the level-order traversal Π(T), and the
+// level-order conjugate tree δ(T) together with the construction algorithm
+// of Figure 3.3.
+//
+// A level-order traversal visits the nodes of a parse tree from the deepest
+// level to the shallowest and from left to right within each level; Chapter 3
+// proves that this ordering is exactly a valid instruction sequence for a
+// simple queue machine.
+package bintree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a node of a binary (expression parse) tree. The zero number of
+// children determines the operator arity: a node with no children is a
+// nullary operator (an operand fetch or constant), a node with only a left
+// child is a unary operator, and a node with two children is a binary
+// operator. The thesis's parse-tree well-formedness condition — a unary node
+// has a left child only, and a binary node has both — is checked by Validate.
+type Node struct {
+	// Label identifies the operator, e.g. "+", "neg", or "fetch a". For
+	// leaves it is conventionally the operand name.
+	Label string
+	Left  *Node
+	Right *Node
+}
+
+// Arity reports the number of children of n: 0, 1 or 2.
+func (n *Node) Arity() int {
+	switch {
+	case n.Left == nil && n.Right == nil:
+		return 0
+	case n.Right == nil || n.Left == nil:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Count reports |N(T)|, the number of nodes in the tree rooted at n.
+// Count of a nil tree is 0.
+func (n *Node) Count() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.Left.Count() + n.Right.Count()
+}
+
+// Height reports the number of levels in the tree rooted at n; a single node
+// has height 1 and a nil tree has height 0.
+func (n *Node) Height() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + max(n.Left.Height(), n.Right.Height())
+}
+
+// Validate checks the parse-tree well-formedness condition of Chapter 3:
+// every node has either no children, a left child only, or two children.
+// (A node with only a right child is not a valid parse-tree node.)
+func (n *Node) Validate() error {
+	if n == nil {
+		return nil
+	}
+	if n.Left == nil && n.Right != nil {
+		return fmt.Errorf("bintree: node %q has a right child but no left child", n.Label)
+	}
+	if err := n.Left.Validate(); err != nil {
+		return err
+	}
+	return n.Right.Validate()
+}
+
+// Leaf returns a nullary node.
+func Leaf(label string) *Node { return &Node{Label: label} }
+
+// Unary returns a unary node with the given operand subtree.
+func Unary(label string, operand *Node) *Node {
+	return &Node{Label: label, Left: operand}
+}
+
+// Binary returns a binary node with the given left and right subtrees.
+func Binary(label string, left, right *Node) *Node {
+	return &Node{Label: label, Left: left, Right: right}
+}
+
+// PostOrder returns the post-order traversal of the tree: left subtree,
+// right subtree, node. A post-order traversal of an expression parse tree is
+// the classical stack-machine instruction sequence.
+func PostOrder(t *Node) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+		out = append(out, n)
+	}
+	walk(t)
+	return out
+}
+
+// InOrder returns the in-order traversal of the tree: left subtree, node,
+// right subtree.
+func InOrder(t *Node) []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		walk(n.Left)
+		out = append(out, n)
+		walk(n.Right)
+	}
+	walk(t)
+	return out
+}
+
+// Levels returns, for every node of the tree, its level Γ_T(n): the root is
+// at level 0 and each child is one level deeper than its parent.
+func Levels(t *Node) map[*Node]int {
+	levels := make(map[*Node]int)
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		if n == nil {
+			return
+		}
+		levels[n] = depth
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	walk(t, 0)
+	return levels
+}
+
+// LevelOrderDirect returns the level-order traversal Π(T) computed directly
+// from the definition of the π_T relation: nodes sorted by decreasing level
+// and from left to right within a level. It exists as an executable
+// specification against which the efficient conjugate-tree route
+// (LevelOrder) is verified.
+func LevelOrderDirect(t *Node) []*Node {
+	if t == nil {
+		return nil
+	}
+	levels := Levels(t)
+	// Collect nodes level by level via a pre-order walk, which preserves
+	// left-to-right order inside each level.
+	byLevel := make([][]*Node, t.Height())
+	var walk func(*Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		l := levels[n]
+		byLevel[l] = append(byLevel[l], n)
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t)
+	out := make([]*Node, 0, t.Count())
+	for l := len(byLevel) - 1; l >= 0; l-- {
+		out = append(out, byLevel[l]...)
+	}
+	return out
+}
+
+// conjNode is a node of a level-order conjugate tree. The conjugate is a
+// "tree of right-only binary trees": each node's right chain holds the
+// remaining nodes of its own level (in left-to-right order) and each node's
+// left child begins the chain of the next deeper level.
+type conjNode struct {
+	payload     *Node
+	left, right *conjNode
+}
+
+// Conjugate constructs the level-order conjugate tree δ(T) of the parse tree
+// t using the algorithm of Figure 3.3: a reverse post-order traversal (node,
+// right subtree, left subtree) of t that splices each visited node onto the
+// front of its level's right-only chain. The conjugate is returned as its
+// root conjNode (the sentinel used during construction is stripped).
+//
+// The construction runs in O(|N(T)|) time and space.
+func conjugate(t *Node) *conjNode {
+	sentinel := &conjNode{}
+	var build func(conj *conjNode, parse *Node)
+	build = func(conj *conjNode, parse *Node) {
+		if parse == nil {
+			return
+		}
+		if conj.left == nil {
+			conj.left = &conjNode{payload: parse}
+		} else {
+			// Splice the current head's payload into a fresh node
+			// behind the head and install parse as the new head of
+			// this level's chain. The head keeps its left pointer,
+			// so the deeper-level chain stays reachable.
+			head := conj.left
+			head.right = &conjNode{payload: head.payload, right: head.right}
+			head.payload = parse
+		}
+		build(conj.left, parse.Right)
+		build(conj.left, parse.Left)
+	}
+	build(sentinel, t)
+	return sentinel.left
+}
+
+// LevelOrder returns the level-order traversal Π(T) of the parse tree t,
+// computed efficiently as the in-order traversal of the level-order
+// conjugate tree (the central construction of Chapter 3). The resulting node
+// sequence is a valid simple-queue-machine instruction sequence for the
+// expression represented by t.
+func LevelOrder(t *Node) []*Node {
+	out := make([]*Node, 0, t.Count())
+	var walk func(*conjNode)
+	walk = func(c *conjNode) {
+		if c == nil {
+			return
+		}
+		walk(c.left)
+		out = append(out, c.payload)
+		walk(c.right)
+	}
+	walk(conjugate(t))
+	return out
+}
+
+// ConjugateSketch renders the level-order conjugate tree of t as an indented
+// sketch, one chain per line, for diagnostic output (Figure 3.1(c)).
+func ConjugateSketch(t *Node) string {
+	var b strings.Builder
+	var walk func(c *conjNode, depth int)
+	walk = func(c *conjNode, depth int) {
+		if c == nil {
+			return
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		for n := c; n != nil; n = n.right {
+			if n != c {
+				b.WriteString(" -> ")
+			}
+			b.WriteString(n.payload.Label)
+		}
+		b.WriteByte('\n')
+		walk(c.left, depth+1)
+	}
+	walk(conjugate(t), 0)
+	return b.String()
+}
+
+// Labels maps a node slice to the corresponding label slice; a convenience
+// for tests and printed traces.
+func Labels(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Label
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package bintree
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fig31Tree is the running example of Chapter 3: f := a*b + (c-d)/e.
+func fig31Tree(t *testing.T) *Node {
+	t.Helper()
+	tree, err := ParseExpr("a*b + (c-d)/e")
+	if err != nil {
+		t.Fatalf("ParseExpr: %v", err)
+	}
+	return tree
+}
+
+func TestParseExprShape(t *testing.T) {
+	tree := fig31Tree(t)
+	if got := Infix(tree); got != "((a*b)+((c-d)/e))" {
+		t.Errorf("Infix = %q", got)
+	}
+	if n := tree.Count(); n != 9 {
+		t.Errorf("Count = %d, want 9", n)
+	}
+	if h := tree.Height(); h != 4 {
+		t.Errorf("Height = %d, want 4", h)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, src := range []string{"", "a+", "(a", "a)", "a b", "+", "a**", "$"} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseExprUnaryAndLiterals(t *testing.T) {
+	tree := MustParseExpr("-x * (y % 3)")
+	if got := Infix(tree); got != "((-x)*(y%3))" {
+		t.Errorf("Infix = %q", got)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsRightOnly(t *testing.T) {
+	bad := &Node{Label: "?", Right: Leaf("x")}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted a right-only node")
+	}
+}
+
+// TestLevelOrderFig31 checks the central example: the level-order traversal
+// of the Figure 3.1 parse tree is the queue-machine sequence of Table 3.1.
+func TestLevelOrderFig31(t *testing.T) {
+	tree := fig31Tree(t)
+	want := []string{"c", "d", "a", "b", "-", "e", "*", "/", "+"}
+	if got := Labels(LevelOrder(tree)); !reflect.DeepEqual(got, want) {
+		t.Errorf("LevelOrder = %v, want %v", got, want)
+	}
+	if got := Labels(LevelOrderDirect(tree)); !reflect.DeepEqual(got, want) {
+		t.Errorf("LevelOrderDirect = %v, want %v", got, want)
+	}
+}
+
+func TestPostOrderFig31(t *testing.T) {
+	tree := fig31Tree(t)
+	want := []string{"a", "b", "*", "c", "d", "-", "e", "/", "+"}
+	if got := Labels(PostOrder(tree)); !reflect.DeepEqual(got, want) {
+		t.Errorf("PostOrder = %v, want %v", got, want)
+	}
+}
+
+func TestInOrderFig31(t *testing.T) {
+	tree := fig31Tree(t)
+	want := []string{"a", "*", "b", "+", "c", "-", "d", "/", "e"}
+	if got := Labels(InOrder(tree)); !reflect.DeepEqual(got, want) {
+		t.Errorf("InOrder = %v, want %v", got, want)
+	}
+}
+
+func TestLevelsFig31(t *testing.T) {
+	tree := fig31Tree(t)
+	levels := Levels(tree)
+	byLabel := map[string]int{}
+	for n, l := range levels {
+		byLabel[n.Label] = l
+	}
+	want := map[string]int{"+": 0, "*": 1, "/": 1, "a": 2, "b": 2, "-": 2, "e": 2, "c": 3, "d": 3}
+	if !reflect.DeepEqual(byLabel, want) {
+		t.Errorf("Levels = %v, want %v", byLabel, want)
+	}
+}
+
+// TestConjugateAgainstDirect cross-checks the Figure 3.3 conjugate-tree
+// construction against the direct definition of level order on a large set
+// of random trees.
+func TestConjugateAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		tree := randomTree(rng, 1+rng.Intn(40))
+		got := Labels(LevelOrder(tree))
+		want := Labels(LevelOrderDirect(tree))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: conjugate route %v != direct %v (tree %s)",
+				trial, got, want, Infix(tree))
+		}
+	}
+}
+
+// randomTree builds a random well-formed parse tree with n nodes, labelling
+// every node uniquely so traversal orders can be compared exactly.
+func randomTree(rng *rand.Rand, n int) *Node {
+	counter := 0
+	var build func(n int) *Node
+	build = func(n int) *Node {
+		counter++
+		label := "n" + itoa(counter)
+		switch {
+		case n <= 1:
+			return Leaf(label)
+		case n == 2 || rng.Intn(3) == 0:
+			return Unary(label, build(n-1))
+		default:
+			left := 1 + rng.Intn(n-2)
+			return Binary(label, build(left), build(n-1-left))
+		}
+	}
+	return build(n)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; v > 0; v /= 10 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+	}
+	return string(b)
+}
+
+// TestLevelOrderProperties checks the defining property of Π(T): levels are
+// non-increasing... more precisely strictly deeper levels come first, and
+// within a level nodes appear left to right.
+func TestLevelOrderProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		tree := randomTree(rng, 1+rng.Intn(30))
+		levels := Levels(tree)
+		order := LevelOrder(tree)
+		if len(order) != tree.Count() {
+			t.Fatalf("level order visits %d of %d nodes", len(order), tree.Count())
+		}
+		seen := map[*Node]bool{}
+		for i := 1; i < len(order); i++ {
+			if levels[order[i]] > levels[order[i-1]] {
+				t.Fatalf("trial %d: level increases from %q (%d) to %q (%d)",
+					trial, order[i-1].Label, levels[order[i-1]], order[i].Label, levels[order[i]])
+			}
+		}
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("node %q visited twice", n.Label)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestConjugateSketch(t *testing.T) {
+	sketch := ConjugateSketch(fig31Tree(t))
+	lines := strings.Split(strings.TrimSpace(sketch), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("sketch has %d lines, want 4:\n%s", len(lines), sketch)
+	}
+	if !strings.Contains(lines[3], "c -> d") {
+		t.Errorf("deepest chain = %q, want it to contain \"c -> d\"", lines[3])
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	n := Leaf("x")
+	if got := Labels(LevelOrder(n)); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("LevelOrder(leaf) = %v", got)
+	}
+	if n.Arity() != 0 || n.Count() != 1 || n.Height() != 1 {
+		t.Error("leaf invariants broken")
+	}
+}
+
+func TestNilTree(t *testing.T) {
+	var n *Node
+	if n.Count() != 0 || n.Height() != 0 {
+		t.Error("nil tree should have zero count and height")
+	}
+	if err := n.Validate(); err != nil {
+		t.Errorf("nil Validate: %v", err)
+	}
+	if got := LevelOrderDirect(nil); got != nil {
+		t.Errorf("LevelOrderDirect(nil) = %v", got)
+	}
+}
+
+func TestArity(t *testing.T) {
+	if got := Unary("u", Leaf("x")).Arity(); got != 1 {
+		t.Errorf("unary arity = %d", got)
+	}
+	if got := Binary("b", Leaf("x"), Leaf("y")).Arity(); got != 2 {
+		t.Errorf("binary arity = %d", got)
+	}
+	// A right-only node still reports arity 1 (it is invalid, but Arity
+	// must not crash on it).
+	if got := (&Node{Label: "?", Right: Leaf("x")}).Arity(); got != 1 {
+		t.Errorf("right-only arity = %d", got)
+	}
+}

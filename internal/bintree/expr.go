@@ -1,0 +1,145 @@
+package bintree
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseExpr parses an infix arithmetic expression into a binary expression
+// parse tree. The grammar supports identifiers, unsigned integer literals,
+// parentheses, unary minus (labelled "neg"), and the binary operators
+// + - * / % with the usual precedence. It exists so that tests and examples
+// can write trees as ordinary expressions, e.g. the thesis's running example
+// "a*b + (c-d)/e".
+func ParseExpr(src string) (*Node, error) {
+	p := &exprParser{src: src}
+	n, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("bintree: trailing input %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return n, nil
+}
+
+// MustParseExpr is ParseExpr for statically known-good inputs; it panics on
+// error and is intended for tests and examples.
+func MustParseExpr(src string) *Node {
+	n, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+var exprPrec = map[byte]int{'+': 1, '-': 1, '*': 2, '/': 2, '%': 2}
+
+func (p *exprParser) parseExpr(minPrec int) (*Node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return left, nil
+		}
+		op := p.src[p.pos]
+		prec, ok := exprPrec[op]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = Binary(string(op), left, right)
+	}
+}
+
+func (p *exprParser) parseUnary() (*Node, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '-' {
+		p.pos++
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary("neg", operand), nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *exprParser) parsePrimary() (*Node, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("bintree: unexpected end of expression")
+	}
+	switch c := p.src[p.pos]; {
+	case c == '(':
+		p.pos++
+		n, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("bintree: missing ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return n, nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		start := p.pos
+		for p.pos < len(p.src) && (isIdentChar(p.src[p.pos])) {
+			p.pos++
+		}
+		return Leaf(p.src[start:p.pos]), nil
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		return Leaf(p.src[start:p.pos]), nil
+	default:
+		return nil, fmt.Errorf("bintree: unexpected character %q at offset %d", c, p.pos)
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && strings.ContainsRune(" \t\n", rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+// Infix renders the tree back to a fully parenthesized infix expression,
+// useful in error messages and for round-trip tests.
+func Infix(n *Node) string {
+	if n == nil {
+		return ""
+	}
+	switch n.Arity() {
+	case 0:
+		return n.Label
+	case 1:
+		op := n.Label
+		if op == "neg" {
+			op = "-"
+		}
+		return "(" + op + Infix(n.Left) + ")"
+	default:
+		return "(" + Infix(n.Left) + n.Label + Infix(n.Right) + ")"
+	}
+}

@@ -1,0 +1,109 @@
+package compile
+
+import "queuemachine/internal/occam"
+
+// desugar rewrites every replicated seq into an explicit counted while loop
+// (the thesis implements both iteration paradigms with the same iteration
+// contexts, §4.3):
+//
+//	seq i = [f for n]          var i, __count:
+//	  P                  =>    seq
+//	                             i := f
+//	                             __count := n
+//	                             while __count > 0
+//	                               seq
+//	                                 P
+//	                                 i := i + 1
+//	                                 __count := __count - 1
+//
+// The rewrite happens after semantic analysis, so synthetic symbols are
+// appended to the program's symbol list directly.
+func desugar(prog *occam.Program) {
+	prog.Body = desugarProcess(prog, prog.Body)
+}
+
+func desugarProcess(prog *occam.Program, p occam.Process) occam.Process {
+	switch n := p.(type) {
+	case *occam.Scope:
+		for _, d := range n.Decls {
+			if d.Kind == occam.DeclProc {
+				d.Body = desugarProcess(prog, d.Body)
+			}
+		}
+		n.Body = desugarProcess(prog, n.Body)
+		return n
+	case *occam.Seq:
+		for i, b := range n.Body {
+			n.Body[i] = desugarProcess(prog, b)
+		}
+		if n.Rep != nil {
+			return desugarRepSeq(prog, n)
+		}
+		return n
+	case *occam.Par:
+		for i, b := range n.Body {
+			n.Body[i] = desugarProcess(prog, b)
+		}
+		return n
+	case *occam.If:
+		for _, g := range n.Branches {
+			g.Body = desugarProcess(prog, g.Body)
+		}
+		return n
+	case *occam.While:
+		n.Body = desugarProcess(prog, n.Body)
+		return n
+	default:
+		return p
+	}
+}
+
+func desugarRepSeq(prog *occam.Program, n *occam.Seq) occam.Process {
+	rep := n.Rep
+	pos := n.P
+	count := newSymbol(prog, "__count", occam.SymVar)
+
+	iRef := func() *occam.VarRef {
+		return &occam.VarRef{P: pos, Name: rep.Name, Sym: rep.Sym}
+	}
+	cRef := func() *occam.VarRef {
+		return &occam.VarRef{P: pos, Name: count.Name, Sym: count}
+	}
+	body := &occam.Seq{P: pos, Body: []occam.Process{
+		n.Body[0],
+		&occam.Assign{P: pos, Target: iRef(), Value: &occam.BinExpr{
+			P: pos, Op: "+", A: iRef(), B: &occam.IntLit{P: pos, V: 1}}},
+		&occam.Assign{P: pos, Target: cRef(), Value: &occam.BinExpr{
+			P: pos, Op: "-", A: cRef(), B: &occam.IntLit{P: pos, V: 1}}},
+	}}
+	loop := &occam.While{P: pos,
+		Cond: &occam.BinExpr{P: pos, Op: ">", A: cRef(), B: &occam.IntLit{P: pos, V: 0}},
+		Body: body,
+	}
+	seq := &occam.Seq{P: pos, Body: []occam.Process{
+		&occam.Assign{P: pos, Target: iRef(), Value: rep.From},
+		&occam.Assign{P: pos, Target: cRef(), Value: rep.Count},
+		loop,
+	}}
+	// Wrap in a scope so the loop-control variables stay local to the
+	// construct and never enter enclosing I/O sets.
+	return &occam.Scope{P: pos, Decls: []*occam.Decl{{
+		P:    pos,
+		Kind: occam.DeclVar,
+		Items: []*occam.DeclItem{
+			{Name: rep.Name, Sym: rep.Sym},
+			{Name: count.Name, Sym: count},
+		},
+	}}, Body: seq}
+}
+
+// newSymbol mints a synthetic symbol.
+func newSymbol(prog *occam.Program, name string, kind occam.SymKind) *occam.Symbol {
+	s := &occam.Symbol{
+		ID:   len(prog.Symbols),
+		Name: name,
+		Kind: kind,
+	}
+	prog.Symbols = append(prog.Symbols, s)
+	return s
+}

@@ -1,0 +1,405 @@
+package compile
+
+import (
+	"fmt"
+
+	"queuemachine/internal/dfg"
+	"queuemachine/internal/ift"
+	"queuemachine/internal/isa"
+	"queuemachine/internal/occam"
+)
+
+// vecState tracks one vector's access ordering inside a graph under the
+// multiple-readers/single-writer discipline of §4.6 (Figure 4.19): reads
+// order after the last write; a write orders after the last write and all
+// reads since.
+type vecState struct {
+	lastWrite *dfg.Node
+	readers   []*dfg.Node
+}
+
+// graphCtx is one context graph under construction.
+type graphCtx struct {
+	c    *compiler
+	name string
+	g    *dfg.Graph
+	idx  int
+
+	// env maps program values (variables, channel ids, vector base
+	// addresses of vec parameters) to the node currently producing them.
+	env map[ift.Value]*dfg.Node
+	// vecs tracks vector access ordering.
+	vecs map[*occam.Symbol]*vecState
+	// lastK is the global control token holder (channel I/O, real time).
+	lastK *dfg.Node
+	// chains tracks the last send/recv issued on each channel-value node,
+	// so that protocol traffic on one channel keeps its order (the K1/K2
+	// tokens of Figure 4.3).
+	chains map[*dfg.Node]*dfg.Node
+	// consts dedups constant nodes.
+	consts map[int32]*dfg.Node
+
+	// inRecvs lists the input recv nodes (for late π_I chaining).
+	inRecvs []*dfg.Node
+}
+
+// konst returns a constant node.
+func (gc *graphCtx) konst(v int32) *dfg.Node {
+	if n, ok := gc.consts[v]; ok {
+		return n
+	}
+	n := gc.g.AddOp("const")
+	n.Aux = v
+	gc.consts[v] = n
+	return n
+}
+
+// cinNode and coutNode read the context's channel registers.
+func (gc *graphCtx) cinNode() *dfg.Node  { return gc.g.AddOp("cin") }
+func (gc *graphCtx) coutNode() *dfg.Node { return gc.g.AddOp("cout") }
+
+// vec returns the ordering state of a vector, creating it on first touch.
+func (gc *graphCtx) vec(sym *occam.Symbol) *vecState {
+	st, ok := gc.vecs[sym]
+	if !ok {
+		st = &vecState{}
+		gc.vecs[sym] = st
+	}
+	return st
+}
+
+// chainOn serializes an operation against the previous operation touching
+// the same channel-value node.
+func (gc *graphCtx) chainOn(ch *dfg.Node, op *dfg.Node) {
+	if prev, ok := gc.chains[ch]; ok {
+		gc.g.AddOrder(op, prev)
+	}
+	gc.chains[ch] = op
+}
+
+// chainK serializes a node on the global control token.
+func (gc *graphCtx) chainK(op *dfg.Node) {
+	if gc.lastK != nil {
+		gc.g.AddOrder(op, gc.lastK)
+	}
+	gc.lastK = op
+}
+
+// vectorAddr builds the byte-address computation of element idx of vector
+// sym: base + (idx << 2) for word vectors, base + idx for byte vectors. For
+// vec parameters the base is the received address value; for declared
+// vectors it is a compile-time constant, so the whole address folds when
+// the index is constant.
+func (gc *graphCtx) vectorAddr(sym *occam.Symbol, idx occam.Expr) (*dfg.Node, error) {
+	idxNode, err := gc.expr(idx)
+	if err != nil {
+		return nil, err
+	}
+	var base *dfg.Node
+	if sym.Kind == occam.SymParamVec {
+		b, ok := gc.env[ift.Val(sym)]
+		if !ok {
+			return nil, fmt.Errorf("compile: graph %s: vec parameter %q has no address", gc.name, sym.Name)
+		}
+		base = b
+	} else {
+		addr, ok := gc.c.layout[sym]
+		if !ok {
+			return nil, fmt.Errorf("compile: graph %s: vector %q has no layout", gc.name, sym.Name)
+		}
+		base = gc.konst(int32(addr * isa.WordSize))
+	}
+	scale := int32(isa.WordSize)
+	if sym.Kind == occam.SymVecByteVar {
+		scale = 1
+	}
+	if iv, ok := gc.constOf(idxNode); ok {
+		if bv, ok := gc.constOf(base); ok {
+			return gc.konst(bv + iv*scale), nil
+		}
+	}
+	if scale == 1 {
+		return gc.binNode("plus", base, idxNode), nil
+	}
+	shifted := gc.binNode("lshift", idxNode, gc.konst(2))
+	return gc.binNode("plus", base, shifted), nil
+}
+
+// constOf reports a node's constant value when folding is enabled.
+func (gc *graphCtx) constOf(n *dfg.Node) (int32, bool) {
+	if gc.c.opts.NoConstFold {
+		return 0, false
+	}
+	if n.Op == "const" {
+		return n.Aux.(int32), true
+	}
+	return 0, false
+}
+
+// binNode builds a binary ALU node, constant-folding when both operands are
+// constants.
+func (gc *graphCtx) binNode(op string, a, b *dfg.Node) *dfg.Node {
+	if av, ok := gc.constOf(a); ok {
+		if bv, ok := gc.constOf(b); ok {
+			if v, err := foldALU(op, av, bv); err == nil {
+				return gc.konst(v)
+			}
+		}
+	}
+	return gc.addOpImm(op, a, b)
+}
+
+func foldALU(op string, a, b int32) (int32, error) {
+	opc, ok := isa.ByMnemonic(op)
+	if !ok {
+		return 0, fmt.Errorf("compile: no opcode %q", op)
+	}
+	return isa.EvalALU(opc, a, b)
+}
+
+// value returns the node for a program value, defaulting to zero for a read
+// of a never-assigned variable (undefined in OCCAM).
+func (gc *graphCtx) value(v ift.Value) *dfg.Node {
+	if n, ok := gc.env[v]; ok {
+		return n
+	}
+	return gc.konst(0)
+}
+
+// expr compiles an expression into a graph node.
+func (gc *graphCtx) expr(e occam.Expr) (*dfg.Node, error) {
+	switch n := e.(type) {
+	case *occam.IntLit:
+		return gc.konst(n.V), nil
+	case *occam.NowExpr:
+		node := gc.g.AddOp("now")
+		gc.chainK(node)
+		return node, nil
+	case *occam.UnaryExpr:
+		x, err := gc.expr(n.X)
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := gc.constOf(x); ok {
+			if n.Op == "-" {
+				return gc.konst(-v), nil
+			}
+			return gc.konst(^v), nil
+		}
+		if n.Op == "-" {
+			return gc.g.AddOp("neg", x), nil
+		}
+		return gc.g.AddOp("not", x), nil
+	case *occam.BinExpr:
+		a, err := gc.expr(n.A)
+		if err != nil {
+			return nil, err
+		}
+		b, err := gc.expr(n.B)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := binOpNames[n.Op]
+		if !ok {
+			return nil, fmt.Errorf("compile: %v: unknown operator %q", n.P, n.Op)
+		}
+		return gc.binNode(op, a, b), nil
+	case *occam.VarRef:
+		if n.Index != nil {
+			return gc.vectorRead(n)
+		}
+		if n.Sym.Kind == occam.SymDef {
+			return gc.konst(n.Sym.Value), nil
+		}
+		return gc.value(ift.Val(n.Sym)), nil
+	}
+	return nil, fmt.Errorf("compile: unknown expression %T", e)
+}
+
+var binOpNames = map[string]string{
+	"+": "plus", "-": "minus", "*": "mul", "/": "div", "\\": "rem",
+	"=": "eq", "<>": "ne", "<": "lt", ">": "gt", "<=": "le", ">=": "ge",
+	"and": "and", "/\\": "and", "or": "or", "\\/": "or", "><": "xor",
+	"<<": "lshift", ">>": "rshift",
+}
+
+// vectorRead builds a fetch of a vector element, ordered after the last
+// write to that vector.
+func (gc *graphCtx) vectorRead(ref *occam.VarRef) (*dfg.Node, error) {
+	addr, err := gc.vectorAddr(ref.Sym, ref.Index)
+	if err != nil {
+		return nil, err
+	}
+	op := "fetch"
+	if ref.Sym.Kind == occam.SymVecByteVar {
+		op = "fchb"
+	}
+	f := gc.addOpImm(op, addr)
+	st := gc.vec(ref.Sym)
+	if st.lastWrite != nil {
+		gc.g.AddOrder(f, st.lastWrite)
+	}
+	st.readers = append(st.readers, f)
+	return f, nil
+}
+
+// vectorWrite builds a store of a vector element, ordered after the last
+// write and all reads since (Figure 4.19).
+func (gc *graphCtx) vectorWrite(ref *occam.VarRef, val *dfg.Node) error {
+	addr, err := gc.vectorAddr(ref.Sym, ref.Index)
+	if err != nil {
+		return err
+	}
+	op := "store"
+	if ref.Sym.Kind == occam.SymVecByteVar {
+		op = "storb"
+	}
+	s := gc.addOpImm(op, addr, val)
+	st := gc.vec(ref.Sym)
+	if st.lastWrite != nil {
+		gc.g.AddOrder(s, st.lastWrite)
+	}
+	gc.g.AddOrder(s, st.readers...)
+	st.lastWrite = s
+	st.readers = nil
+	return nil
+}
+
+// materialize produces the node whose value will be SENT for an
+// intercontext value: data values come from the environment; control tokens
+// become a constant token ordered after the operations they represent.
+func (gc *graphCtx) materialize(v ift.Value) *dfg.Node {
+	if !v.Token {
+		return gc.value(v)
+	}
+	if v.Sym == nil {
+		// Global K: a token ordered after the last I/O operation.
+		if gc.lastK == nil {
+			return gc.konst(-1)
+		}
+		tok := gc.g.AddOp("token")
+		tok.Aux = int32(-1)
+		gc.g.AddOrder(tok, gc.lastK)
+		return tok
+	}
+	st := gc.vec(v.Sym)
+	if st.lastWrite == nil && len(st.readers) == 0 {
+		return gc.konst(-1)
+	}
+	tok := gc.g.AddOp("token")
+	tok.Aux = int32(-1)
+	if st.lastWrite != nil {
+		gc.g.AddOrder(tok, st.lastWrite)
+	}
+	gc.g.AddOrder(tok, st.readers...)
+	return tok
+}
+
+// materializeFor is materialize with the §4.6 read/write distinction: a
+// construct that only READS the vector needs to wait for the last write but
+// not for other outstanding readers (multiple readers run unordered).
+// Writers, data values and the global K use the full ordering.
+func (gc *graphCtx) materializeFor(v ift.Value, write bool) *dfg.Node {
+	if !v.Token || v.Sym == nil || write {
+		return gc.materialize(v)
+	}
+	st := gc.vec(v.Sym)
+	if st.lastWrite == nil {
+		return gc.konst(-1)
+	}
+	tok := gc.g.AddOp("token")
+	tok.Aux = int32(-1)
+	gc.g.AddOrder(tok, st.lastWrite)
+	return tok
+}
+
+// acceptValue installs a received intercontext value: data values enter the
+// environment; tokens reset the ordering state so subsequent operations
+// order after the delivering recv.
+func (gc *graphCtx) acceptValue(v ift.Value, node *dfg.Node) {
+	if !v.Token {
+		gc.env[v] = node
+		return
+	}
+	if v.Sym == nil {
+		gc.lastK = node
+		return
+	}
+	st := gc.vec(v.Sym)
+	st.lastWrite = node
+	st.readers = nil
+}
+
+// acceptValueFor is acceptValue with the read/write distinction: a token
+// returned by a construct that only read the vector records the construct as
+// one more outstanding reader (later writers wait for it; later readers do
+// not), preserving the last write.
+func (gc *graphCtx) acceptValueFor(v ift.Value, node *dfg.Node, write bool) {
+	if v.Token && v.Sym != nil && !write {
+		st := gc.vec(v.Sym)
+		st.readers = append(st.readers, node)
+		return
+	}
+	gc.acceptValue(v, node)
+}
+
+// chanValue returns the channel-identifier node for a channel reference.
+func (gc *graphCtx) chanValue(ref *occam.VarRef) (*dfg.Node, error) {
+	if ref.Index != nil {
+		// Channel vector: the identifier is fetched from memory.
+		return gc.vectorRead(ref)
+	}
+	n, ok := gc.env[ift.Val(ref.Sym)]
+	if !ok {
+		return nil, fmt.Errorf("compile: %v: channel %q used before its allocation reached this context", ref.P, ref.Name)
+	}
+	return n, nil
+}
+
+// snapshot and restore support compiling parallel branches against the same
+// starting state.
+type graphSnapshot struct {
+	env    map[ift.Value]*dfg.Node
+	vecs   map[*occam.Symbol]*vecState
+	lastK  *dfg.Node
+	chains map[*dfg.Node]*dfg.Node
+}
+
+func (gc *graphCtx) snapshot() *graphSnapshot {
+	s := &graphSnapshot{
+		env:    make(map[ift.Value]*dfg.Node, len(gc.env)),
+		vecs:   make(map[*occam.Symbol]*vecState, len(gc.vecs)),
+		chains: make(map[*dfg.Node]*dfg.Node, len(gc.chains)),
+		lastK:  gc.lastK,
+	}
+	for k, v := range gc.env {
+		s.env[k] = v
+	}
+	for k, v := range gc.vecs {
+		cp := *v
+		cp.readers = append([]*dfg.Node(nil), v.readers...)
+		s.vecs[k] = &cp
+	}
+	for k, v := range gc.chains {
+		s.chains[k] = v
+	}
+	return s
+}
+
+func (gc *graphCtx) restore(s *graphSnapshot) {
+	gc.env = make(map[ift.Value]*dfg.Node, len(s.env))
+	for k, v := range s.env {
+		gc.env[k] = v
+	}
+	gc.vecs = make(map[*occam.Symbol]*vecState, len(s.vecs))
+	for k, v := range s.vecs {
+		cp := *v
+		cp.readers = append([]*dfg.Node(nil), v.readers...)
+		gc.vecs[k] = &cp
+	}
+	gc.chains = make(map[*dfg.Node]*dfg.Node, len(s.chains))
+	for k, v := range s.chains {
+		gc.chains[k] = v
+	}
+	gc.lastK = s.lastK
+}

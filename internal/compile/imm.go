@@ -1,0 +1,71 @@
+package compile
+
+import (
+	"queuemachine/internal/dfg"
+	"queuemachine/internal/isa"
+)
+
+// immArgs records which of a node's original operand positions are encoded
+// as instruction immediates rather than operand-queue slots. The node's
+// remaining dfg arguments fill the non-immediate positions in order.
+type immArgs struct {
+	vals [2]*int32
+}
+
+// immOf returns the node's immediate table, if any.
+func immOf(n *dfg.Node) *immArgs {
+	ia, _ := n.Aux.(*immArgs)
+	return ia
+}
+
+// addOpImm builds an operator node, encoding constant operands as
+// immediates (unless constant folding is disabled, in which case every
+// operand flows through the queue, reproducing the naive code of the Table
+// 6.6 baseline). Only the first two positions can be immediate — exactly
+// the two source fields of the instruction format.
+func (gc *graphCtx) addOpImm(op string, args ...*dfg.Node) *dfg.Node {
+	var ia immArgs
+	useImm := false
+	var queueArgs []*dfg.Node
+	for i, a := range args {
+		if i < 2 {
+			if v, ok := gc.constOf(a); ok {
+				vv := v
+				ia.vals[i] = &vv
+				useImm = true
+				continue
+			}
+		}
+		queueArgs = append(queueArgs, a)
+	}
+	if !useImm {
+		return gc.g.AddOp(op, args...)
+	}
+	n := gc.g.AddOp(op, queueArgs...)
+	n.Aux = &ia
+	return n
+}
+
+// operandSrcs derives the two instruction source fields and the QP
+// increment for a node with nPos original operand positions.
+func operandSrcs(n *dfg.Node, nPos int) (src1, src2 isa.Src, qpinc int) {
+	ia := immOf(n)
+	queueIdx := 0
+	get := func(pos int) isa.Src {
+		if ia != nil && pos < 2 && ia.vals[pos] != nil {
+			return isa.Imm(*ia.vals[pos])
+		}
+		s := isa.Window(queueIdx)
+		queueIdx++
+		return s
+	}
+	src1 = isa.Imm(0)
+	src2 = isa.Imm(0)
+	if nPos >= 1 {
+		src1 = get(0)
+	}
+	if nPos >= 2 {
+		src2 = get(1)
+	}
+	return src1, src2, queueIdx
+}

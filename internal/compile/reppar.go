@@ -1,0 +1,192 @@
+package compile
+
+import (
+	"fmt"
+
+	"queuemachine/internal/dfg"
+	"queuemachine/internal/ift"
+	"queuemachine/internal/occam"
+)
+
+// replicatedPar implements dynamic process creation (Figure 4.10): a
+// replicated par spawns one context per instance through a binary-splitting
+// spawn tree, so context creation itself parallelizes in O(log n) depth.
+// Three graphs are emitted per construct:
+//
+//   - the body graph, executing one instance with the replicator index
+//     bound to its received lower bound;
+//   - the spawn graph, which receives (lo, n, closure...), splits the index
+//     range in half, rforks the appropriate graph for each half (selected
+//     with sel actors: another spawn, a single body, or the null graph for
+//     an empty half), forwards the closure, and joins the halves' result
+//     tokens with ∧ actors;
+//   - the null graph, which passes the closure's tokens straight through
+//     (the n = 0 case).
+//
+// Instances may write only vector elements (checked by the IFT builder), so
+// the values returned up the tree are control tokens, combined with ∧
+// exactly as in Figure 4.9(b).
+func (c *compiler) replicatedPar(gc *graphCtx, n *occam.Par) error {
+	entry, err := c.table.Entry(n)
+	if err != nil {
+		return err
+	}
+	rep := n.Rep
+	bodyEntry, err := c.table.Entry(n.Body[0])
+	if err != nil {
+		return err
+	}
+	liveOuts := c.outsOf(entry)
+	for _, v := range liveOuts {
+		if !v.Token {
+			return fmt.Errorf("compile: %v: replicated par cannot export scalar %v", n.P, v)
+		}
+	}
+	// Closure: everything the body needs except the index, plus the
+	// tokens that must flow back out (for pass-through in the null graph).
+	loVal := ift.Val(rep.Sym)
+	nSym := newSymbol(c.prog, "__rpn", occam.SymVar)
+	nVal := ift.Val(nSym)
+	var bodyIns []ift.Value
+	for _, v := range bodyEntry.Inputs() {
+		if v != loVal {
+			bodyIns = append(bodyIns, v)
+		}
+	}
+	closure := dedupeValues(bodyIns, liveOuts)
+	ins := append([]ift.Value{loVal, nVal}, closure...)
+	base := fmt.Sprintf("rp%d", n.P.Line)
+
+	// Body graph: one instance, index = lo.
+	bodyCh := c.openChild(base+"_body", ins)
+	if err := c.stmt(bodyCh.gc, n.Body[0]); err != nil {
+		return err
+	}
+	// π_I order, but lo and n forced first: the spawn graph needs them
+	// before anything else to get the next forks out early.
+	perm := c.inputOrder(bodyCh)
+	perm = frontLoad(perm, bodyCh.slots, loVal, nVal)
+	bodyCh.chainInputs(perm)
+	slots := bodyCh.slots
+	bodyCh.sendOutputs(liveOuts)
+
+	// Null graph: pass the tokens through.
+	nullCh := c.openChildSlots(base+"_null", slots)
+	nullCh.sendOutputs(liveOuts)
+
+	// Spawn graph.
+	spawnCh := c.openChildSlots(base+"_spawn", slots)
+	sg := spawnCh.gc
+	spawnIdx := int32(sg.idx)
+	bodyIdx := int32(bodyCh.gc.idx)
+	nullIdx := int32(nullCh.gc.idx)
+	outSlots := packSlots(liveOuts)
+
+	lo := sg.value(loVal)
+	cnt := sg.value(nVal)
+	nl := sg.binNode("rshift", sg.binNode("plus", cnt, sg.konst(1)), sg.konst(1))
+	nr := sg.binNode("minus", cnt, nl)
+	lo2 := sg.binNode("plus", lo, nl)
+
+	targetFor := func(count *dfg.Node) *dfg.Node {
+		single := sg.sel(sg.binNode("eq", count, sg.konst(0)), sg.konst(nullIdx), sg.konst(bodyIdx))
+		return sg.sel(sg.binNode("gt", count, sg.konst(1)), sg.konst(spawnIdx), single)
+	}
+
+	// Each half receives its own (lo, n) and a fresh materialization of
+	// the closure slots (token materializations are mutually unordered,
+	// so the halves proceed in parallel).
+	forkHalf := func(loNode, nNode *dfg.Node, accept func(ift.Value, *dfg.Node)) (*spliceHandles, error) {
+		insNodes := make([]*dfg.Node, len(slots))
+		for i, sl := range slots {
+			switch {
+			case len(sl) == 1 && sl[0] == loVal:
+				insNodes[i] = loNode
+			case len(sl) == 1 && sl[0] == nVal:
+				insNodes[i] = nNode
+			default:
+				insNodes[i] = sg.materializeSlot(sl, nil)
+			}
+		}
+		return c.spliceTo(sg, "rfork", targetFor(nNode), insNodes, outSlots, accept)
+	}
+	left := map[ift.Value]*dfg.Node{}
+	right := map[ift.Value]*dfg.Node{}
+	lh, err := forkHalf(lo, nl, func(v ift.Value, node *dfg.Node) { left[v] = node })
+	if err != nil {
+		return err
+	}
+	rh, err := forkHalf(lo2, nr, func(v ift.Value, node *dfg.Node) { right[v] = node })
+	if err != nil {
+		return err
+	}
+	// Instances in different halves may communicate: feed both halves
+	// before awaiting either.
+	if lh.firstRecv != nil && rh.lastSend != nil {
+		sg.g.AddOrder(lh.firstRecv, rh.lastSend)
+	}
+	if rh.firstRecv != nil && lh.lastSend != nil {
+		sg.g.AddOrder(rh.firstRecv, lh.lastSend)
+	}
+	// Join the halves' tokens with ∧ and send the combination up: one
+	// and-actor per output slot.
+	if len(outSlots) > 0 {
+		cout := sg.coutNode()
+		for _, sl := range outSlots {
+			joined := sg.binNode("and", left[sl[0]], right[sl[0]])
+			s := sg.addOpImm("send", cout, joined)
+			sg.chainOn(cout, s)
+		}
+	}
+	c.infos[sg.idx].Outs = liveOuts
+
+	// Parent: splice to the appropriate root graph for the whole range.
+	from, err := gc.expr(rep.From)
+	if err != nil {
+		return err
+	}
+	count, err := gc.expr(rep.Count)
+	if err != nil {
+		return err
+	}
+	parentTarget := func(countNode *dfg.Node) *dfg.Node {
+		single := gc.sel(gc.binNode("eq", countNode, gc.konst(0)), gc.konst(nullIdx), gc.konst(bodyIdx))
+		return gc.sel(gc.binNode("gt", countNode, gc.konst(1)), gc.konst(spawnIdx), single)
+	}
+	insNodes := make([]*dfg.Node, len(slots))
+	for i, sl := range slots {
+		switch {
+		case len(sl) == 1 && sl[0] == loVal:
+			insNodes[i] = from
+		case len(sl) == 1 && sl[0] == nVal:
+			insNodes[i] = count
+		default:
+			insNodes[i] = gc.materializeSlot(sl, entry.WritesValue)
+		}
+	}
+	_, err = c.spliceTo(gc, "rfork", parentTarget(count), insNodes, outSlots, entryAccept(gc, entry))
+	return err
+}
+
+// frontLoad moves the slots holding the given values to the front of the
+// permutation, preserving the rest of the order.
+func frontLoad(perm []int, slots []slot, first ...ift.Value) []int {
+	rank := func(idx int) int {
+		sl := slots[idx]
+		for r, v := range first {
+			if len(sl) == 1 && sl[0] == v {
+				return r
+			}
+		}
+		return len(first)
+	}
+	out := make([]int, 0, len(perm))
+	for r := 0; r <= len(first); r++ {
+		for _, p := range perm {
+			if rank(p) == r {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}

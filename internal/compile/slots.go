@@ -1,0 +1,86 @@
+package compile
+
+import (
+	"queuemachine/internal/dfg"
+	"queuemachine/internal/ift"
+)
+
+// A transfer slot is one rendezvous value of a splice protocol. Data values
+// occupy one slot each; ALL control tokens of a transfer share a single
+// slot — a construct has a single completion, so one ∧-combined token (the
+// Figure 4.9 and-actor output) vouches for every vector it touched and for
+// its channel I/O at once. Combining matters: sends on one channel
+// serialize on the rendezvous, so every saved slot shortens the protocol's
+// critical path.
+type slot []ift.Value
+
+// packSlots groups an ordered value list into transfer slots; the token
+// group sits at the position of the first token.
+func packSlots(vals []ift.Value) []slot {
+	var out []slot
+	tokenIdx := -1
+	for _, v := range vals {
+		if v.Token {
+			if tokenIdx < 0 {
+				tokenIdx = len(out)
+				out = append(out, slot{v})
+			} else {
+				out[tokenIdx] = append(out[tokenIdx], v)
+			}
+			continue
+		}
+		out = append(out, slot{v})
+	}
+	return out
+}
+
+// flattenSlots lists the slot contents in order (for diagnostics).
+func flattenSlots(slots []slot) []ift.Value {
+	var out []ift.Value
+	for _, sl := range slots {
+		out = append(out, sl...)
+	}
+	return out
+}
+
+// materializeTokenGroup builds the combined control token for a token slot:
+// a single word ordered after every member's relevant state. Members with
+// write flavor (per the write predicate; nil means all) wait for the
+// vector's outstanding readers as well as its last write; read-flavored
+// members wait only for the last write. The global K always uses its full
+// chain.
+func (gc *graphCtx) materializeTokenGroup(vals []ift.Value, write func(ift.Value) bool) *dfg.Node {
+	var deps []*dfg.Node
+	for _, v := range vals {
+		if v.Sym == nil {
+			if gc.lastK != nil {
+				deps = append(deps, gc.lastK)
+			}
+			continue
+		}
+		st := gc.vec(v.Sym)
+		if st.lastWrite != nil {
+			deps = append(deps, st.lastWrite)
+		}
+		if write == nil || write(v) {
+			deps = append(deps, st.readers...)
+		}
+	}
+	if len(deps) == 0 {
+		return gc.konst(-1)
+	}
+	tok := gc.g.AddOp("token")
+	tok.Aux = int32(-1)
+	gc.g.AddOrder(tok, deps...)
+	return tok
+}
+
+// materializeSlot builds the value node for one transfer slot in this
+// graph's frame: the environment value for a data slot, the combined token
+// for a token slot.
+func (gc *graphCtx) materializeSlot(sl slot, write func(ift.Value) bool) *dfg.Node {
+	if len(sl) == 1 && !sl[0].Token {
+		return gc.value(sl[0])
+	}
+	return gc.materializeTokenGroup(sl, write)
+}

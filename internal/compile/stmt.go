@@ -1,0 +1,339 @@
+package compile
+
+import (
+	"fmt"
+
+	"queuemachine/internal/dfg"
+	"queuemachine/internal/ift"
+	"queuemachine/internal/occam"
+)
+
+// stmt compiles one process into the current graph. Constructs that demand
+// their own contexts (while, if, proc calls, replicated par) splice
+// sub-graphs in; everything else merges into this graph per Figure 4.9.
+func (c *compiler) stmt(gc *graphCtx, p occam.Process) error {
+	switch n := p.(type) {
+	case *occam.Skip:
+		return nil
+
+	case *occam.Assign:
+		val, err := gc.expr(n.Value)
+		if err != nil {
+			return err
+		}
+		if n.Target.Index != nil {
+			return gc.vectorWrite(n.Target, val)
+		}
+		gc.env[ift.Val(n.Target.Sym)] = val
+		return nil
+
+	case *occam.Output:
+		ch, err := gc.chanValue(n.Chan)
+		if err != nil {
+			return err
+		}
+		val, err := gc.expr(n.Value)
+		if err != nil {
+			return err
+		}
+		send := gc.addOpImm("send", ch, val)
+		gc.chainK(send)
+		return nil
+
+	case *occam.Input:
+		ch, err := gc.chanValue(n.Chan)
+		if err != nil {
+			return err
+		}
+		recv := gc.g.AddOp("recv", ch)
+		gc.chainK(recv)
+		if n.Target.Index != nil {
+			return gc.vectorWrite(n.Target, recv)
+		}
+		gc.env[ift.Val(n.Target.Sym)] = recv
+		return nil
+
+	case *occam.Wait:
+		after, err := gc.expr(n.After)
+		if err != nil {
+			return err
+		}
+		w := gc.addOpImm("wait", after)
+		gc.chainK(w)
+		return nil
+
+	case *occam.Scope:
+		return c.scopeStmt(gc, n)
+
+	case *occam.Seq:
+		if n.Rep != nil {
+			return fmt.Errorf("compile: %v: replicated seq survived desugaring", n.P)
+		}
+		for _, b := range n.Body {
+			if err := c.stmt(gc, b); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *occam.Par:
+		if n.Rep != nil {
+			return c.replicatedPar(gc, n)
+		}
+		return c.plainPar(gc, n)
+
+	case *occam.While:
+		return c.whileStmt(gc, n)
+
+	case *occam.If:
+		return c.ifStmt(gc, n)
+
+	case *occam.Call:
+		return c.callStmt(gc, n)
+	}
+	return fmt.Errorf("compile: unknown process %T", p)
+}
+
+// scopeStmt allocates the scope's channels and compiles its body.
+func (c *compiler) scopeStmt(gc *graphCtx, n *occam.Scope) error {
+	for _, d := range n.Decls {
+		if d.Kind != occam.DeclChan {
+			continue
+		}
+		for _, item := range d.Items {
+			if item.Sym.Kind == occam.SymVecChan {
+				// Allocate each element and store its identifier
+				// into the channel vector's memory.
+				for i := 0; i < item.Sym.Size; i++ {
+					alloc := gc.g.AddOp("channew")
+					ref := &occam.VarRef{
+						P: d.P, Name: item.Name, Sym: item.Sym,
+						Index: &occam.IntLit{P: d.P, V: int32(i)},
+					}
+					if err := gc.vectorWriteNode(ref, alloc); err != nil {
+						return err
+					}
+				}
+				continue
+			}
+			alloc := gc.g.AddOp("channew")
+			gc.env[ift.Val(item.Sym)] = alloc
+		}
+	}
+	return c.stmt(gc, n.Body)
+}
+
+// vectorWriteNode is vectorWrite for an already-built value node.
+func (gc *graphCtx) vectorWriteNode(ref *occam.VarRef, val *dfg.Node) error {
+	return gc.vectorWrite(ref, val)
+}
+
+// plainPar compiles parallel composition. Pure-computation branches merge
+// into the current graph per Figure 4.9(b), compiled against the pre-par
+// state with ∧-style token joins where several branches touched the same
+// resource. Branches that perform channel I/O are spliced into their own
+// contexts instead: a blocking send executed inline could never rendezvous
+// with a sibling in the same sequential context. (This refines the thesis's
+// pure merge, which presumes communicating components are separate
+// contexts.)
+func (c *compiler) plainPar(gc *graphCtx, n *occam.Par) error {
+	base := gc.snapshot()
+	type branchResult struct {
+		env   map[ift.Value]*dfg.Node
+		vecs  map[*occam.Symbol]*vecState
+		lastK *dfg.Node
+	}
+	var results []*branchResult
+
+	// Classify the branches.
+	var merged, spliced []occam.Process
+	for _, b := range n.Body {
+		e, err := c.table.Entry(b)
+		if err != nil {
+			return err
+		}
+		if e.Kind == ift.KSkip {
+			continue
+		}
+		if entryUsesIO(e) {
+			spliced = append(spliced, b)
+		} else {
+			merged = append(merged, b)
+		}
+	}
+
+	// Merged branches compile against the pre-par state.
+	for _, b := range merged {
+		gc.restore(base)
+		if err := c.stmt(gc, b); err != nil {
+			return err
+		}
+		results = append(results, &branchResult{env: gc.env, vecs: gc.vecs, lastK: gc.lastK})
+	}
+	gc.restore(base)
+
+	// Spliced branches become contexts; their protocol runs against the
+	// pre-par state and their results count as one more parallel branch.
+	// Branches may communicate with each other, so every branch must be
+	// fed before any branch is awaited: cross order arcs below.
+	var handles []*spliceHandles
+	for k, b := range spliced {
+		e, _ := c.table.Entry(b)
+		liveOuts := c.outsOf(e)
+		ins := e.Inputs()
+		ch := c.openChild(fmt.Sprintf("par%d_b%d", n.P.Line, k), ins)
+		if err := c.stmt(ch.gc, b); err != nil {
+			return err
+		}
+		ch.chainInputs(c.inputOrder(ch))
+		ch.sendOutputs(liveOuts)
+		insNodes := parentSlotNodes(gc, ch.slots, e)
+		r := &branchResult{env: map[ift.Value]*dfg.Node{}, vecs: map[*occam.Symbol]*vecState{}}
+		accept := func(v ift.Value, node *dfg.Node) {
+			switch {
+			case !v.Token:
+				r.env[v] = node
+			case v.Sym == nil:
+				r.lastK = node
+			case e.WritesValue(v):
+				r.vecs[v.Sym] = &vecState{lastWrite: node}
+			default:
+				// A read-only token: the branch joins the pool of
+				// outstanding readers; the pre-par write ordering
+				// is preserved.
+				st := &vecState{readers: []*dfg.Node{node}}
+				if b := base.vecs[v.Sym]; b != nil {
+					st.lastWrite = b.lastWrite
+					st.readers = append(append([]*dfg.Node{}, b.readers...), node)
+				}
+				r.vecs[v.Sym] = st
+			}
+		}
+		h, err := c.spliceTo(gc, "rfork", gc.konst(int32(ch.gc.idx)), insNodes, packSlots(liveOuts), accept)
+		if err != nil {
+			return err
+		}
+		handles = append(handles, h)
+		results = append(results, r)
+	}
+	for _, h := range handles {
+		if h.firstRecv == nil {
+			continue
+		}
+		for _, other := range handles {
+			if other.lastSend != nil {
+				gc.g.AddOrder(h.firstRecv, other.lastSend)
+			}
+		}
+	}
+
+	// Merge scalar environments: at most one branch may redefine a value.
+	writers := map[ift.Value][]*dfg.Node{}
+	var order []ift.Value
+	for _, r := range results {
+		for v, node := range r.env {
+			if base.env[v] == node {
+				continue
+			}
+			if _, seen := writers[v]; !seen {
+				order = append(order, v)
+			}
+			writers[v] = append(writers[v], node)
+		}
+	}
+	for _, v := range order {
+		nodes := writers[v]
+		if len(nodes) > 1 {
+			return fmt.Errorf("compile: %v: parallel components both assign %q (OCCAM allows at most one writer)", n.P, v)
+		}
+		gc.env[v] = nodes[0]
+	}
+
+	// Merge vector states: branches touching the same vector are mutually
+	// unordered (disjoint elements per OCCAM); subsequent accesses order
+	// after all of them via a join token.
+	touched := map[*occam.Symbol][]*vecState{}
+	var vecOrder []*occam.Symbol
+	for _, r := range results {
+		for sym, st := range r.vecs {
+			b := base.vecs[sym]
+			if b != nil && b.lastWrite == st.lastWrite && len(b.readers) == len(st.readers) {
+				continue // untouched by this branch
+			}
+			if _, seen := touched[sym]; !seen {
+				vecOrder = append(vecOrder, sym)
+			}
+			touched[sym] = append(touched[sym], st)
+		}
+	}
+	for _, sym := range vecOrder {
+		states := touched[sym]
+		if len(states) == 1 {
+			gc.vecs[sym] = states[0]
+			continue
+		}
+		join := gc.g.AddOp("join")
+		join.Aux = int32(-1)
+		for _, st := range states {
+			if st.lastWrite != nil {
+				gc.g.AddOrder(join, st.lastWrite)
+			}
+			gc.g.AddOrder(join, st.readers...)
+		}
+		gc.vecs[sym] = &vecState{lastWrite: join}
+	}
+
+	// Merge the global control token with an ∧-join when several branches
+	// performed I/O.
+	var ks []*dfg.Node
+	for _, r := range results {
+		if r.lastK != base.lastK && r.lastK != nil {
+			ks = append(ks, r.lastK)
+		}
+	}
+	switch len(ks) {
+	case 0:
+	case 1:
+		gc.lastK = ks[0]
+	default:
+		join := gc.g.AddOp("join")
+		join.Aux = int32(-1)
+		gc.g.AddOrder(join, ks...)
+		gc.lastK = join
+	}
+	return nil
+}
+
+// orderValues applies the transfer-order policy to an input list: π_I
+// ordering by descending input weight when enabled, IFT set order
+// otherwise. Ordering is computed on the callee graph after its body is
+// built (see finishInputs).
+func dedupeValues(vals ...[]ift.Value) []ift.Value {
+	var out []ift.Value
+	seen := map[ift.Value]bool{}
+	for _, list := range vals {
+		for _, v := range list {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// entryUsesIO reports whether an IFT entry's sets touch the global I/O
+// token K.
+func entryUsesIO(e *ift.Entry) bool {
+	for _, vi := range e.I {
+		if vi.Val == ift.KIO {
+			return true
+		}
+	}
+	for _, vi := range e.O {
+		if vi.Val == ift.KIO {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,88 @@
+// Package core is the top-level facade over the thesis reproduction: it
+// compiles OCCAM programs with the Chapter 4 compiler and executes them on
+// the Chapter 6 multiprocessor simulator, exposing the speed-up sweeps and
+// run statistics that the evaluation chapter reports.
+package core
+
+import (
+	"fmt"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/sim"
+)
+
+// Config selects compiler options and machine parameters.
+type Config struct {
+	Compile compile.Options
+	Sim     sim.Params
+}
+
+// DefaultConfig is the configuration of every Chapter 6 experiment.
+func DefaultConfig() Config {
+	return Config{Sim: sim.DefaultParams()}
+}
+
+// Run compiles and executes a program on numPEs processing elements.
+func Run(src string, numPEs int, cfg Config) (*sim.Result, *compile.Artifact, error) {
+	art, err := compile.Compile(src, cfg.Compile)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := sim.Run(art.Object, numPEs, cfg.Sim)
+	if err != nil {
+		return nil, art, err
+	}
+	return res, art, nil
+}
+
+// SweepPoint is one processor count of a speed-up sweep.
+type SweepPoint struct {
+	PEs    int
+	Result *sim.Result
+	// Speedup is T(1)/T(n), the system throughput ratio of Figures
+	// 6.8–6.12.
+	Speedup float64
+	// Utilization is the mean processing-element busy fraction.
+	Utilization float64
+}
+
+// Sweep compiles once and runs the program across the processor counts,
+// verifying (when check is non-nil) that every machine size computes the
+// same answer.
+func Sweep(src string, peCounts []int, cfg Config,
+	check func(art *compile.Artifact, data []int32) error) ([]SweepPoint, *compile.Artifact, error) {
+
+	art, err := compile.Compile(src, cfg.Compile)
+	if err != nil {
+		return nil, nil, err
+	}
+	var points []SweepPoint
+	var base int64
+	for _, pes := range peCounts {
+		res, err := sim.Run(art.Object, pes, cfg.Sim)
+		if err != nil {
+			return nil, art, fmt.Errorf("core: %d PEs: %w", pes, err)
+		}
+		if check != nil {
+			if err := check(art, res.Data); err != nil {
+				return nil, art, fmt.Errorf("core: %d PEs: wrong result: %w", pes, err)
+			}
+		}
+		if base == 0 {
+			base = res.Cycles
+		}
+		points = append(points, SweepPoint{
+			PEs:         pes,
+			Result:      res,
+			Speedup:     float64(base) / float64(res.Cycles),
+			Utilization: res.Utilization(),
+		})
+	}
+	if len(points) > 0 && points[0].PEs != 1 {
+		// Normalize against the first point when 1 PE was not swept.
+		for i := range points {
+			points[i].Speedup = float64(points[0].Result.Cycles) / float64(points[i].Result.Cycles)
+		}
+	}
+	return points, art, nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/workloads"
+)
+
+func TestRunSimple(t *testing.T) {
+	res, art, err := Run(`var v[1]:
+v[0] := 6 * 7
+`, 1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := art.VectorBase("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data[base/4] != 42 {
+		t.Errorf("v[0] = %d", res.Data[base/4])
+	}
+}
+
+func TestRunCompileError(t *testing.T) {
+	if _, _, err := Run("seq\n  x := 1\n", 1, DefaultConfig()); err == nil {
+		t.Error("undeclared variable compiled")
+	}
+}
+
+func TestSweepMatMul(t *testing.T) {
+	w := workloads.MatMul(4)
+	points, _, err := Sweep(w.Source, []int{1, 2, 4}, DefaultConfig(), w.Check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 || points[0].Speedup != 1.0 {
+		t.Fatalf("points = %+v", points)
+	}
+	if points[1].Speedup <= 1.0 || points[2].Speedup <= points[1].Speedup {
+		t.Errorf("speedups not increasing: %.2f %.2f %.2f",
+			points[0].Speedup, points[1].Speedup, points[2].Speedup)
+	}
+	for _, p := range points {
+		if p.Utilization <= 0 || p.Utilization > 1 {
+			t.Errorf("%d PEs: utilization %f", p.PEs, p.Utilization)
+		}
+	}
+}
+
+func TestSweepDetectsWrongResult(t *testing.T) {
+	w := workloads.MatMul(3)
+	_, _, err := Sweep(w.Source, []int{1}, DefaultConfig(),
+		func(art *compile.Artifact, data []int32) error {
+			return errors.New("synthetic mismatch")
+		})
+	if err == nil || !strings.Contains(err.Error(), "wrong result") {
+		t.Errorf("check error not propagated: %v", err)
+	}
+}
+
+func TestSweepNormalizesWithoutBaseline(t *testing.T) {
+	w := workloads.MatMul(3)
+	points, _, err := Sweep(w.Source, []int{2, 4}, DefaultConfig(), w.Check)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Speedup != 1.0 {
+		t.Errorf("first point speedup = %f, want 1 (normalized)", points[0].Speedup)
+	}
+}

@@ -1,0 +1,143 @@
+package dfg
+
+import "sort"
+
+// Analysis carries the per-node results of the §4.5 cost analysis: the
+// predecessor set P*(v), the required input set I*(v), and the computation
+// cost C(v).
+type Analysis struct {
+	g     *Graph
+	preds map[*Node]map[*Node]bool // P*(v), including v
+	reqIn map[*Node]map[*Node]bool // I*(v) = P*(v) ∩ I
+	cost  map[*Node]int            // C(v)
+}
+
+// DepthFirstList returns a list L of the graph's nodes in which every node
+// precedes all of its predecessors (equivalently, all successors of a node
+// precede it) — the algorithm of Figure 4.13. Starting nodes are considered
+// in creation order, which reproduces the thesis's example orderings.
+func (g *Graph) DepthFirstList() []*Node {
+	marked := make(map[*Node]bool, len(g.Nodes))
+	list := make([]*Node, 0, len(g.Nodes))
+	var search func(*Node)
+	search = func(n *Node) {
+		marked[n] = true
+		for _, m := range g.Successors(n) {
+			if !marked[m] {
+				search(m)
+			}
+		}
+		list = append(list, n)
+	}
+	for _, v := range g.Nodes {
+		if !marked[v] {
+			search(v)
+		}
+	}
+	return list
+}
+
+// Analyze computes P*(v), I*(v) and C(v) for every node, using the
+// depth-first list exactly as in Figure 4.15. A node's own contribution to
+// C is its Cost field (unit if zero), so by default C(v) = |P*(v)| as in
+// the thesis's example; a compiler may install per-operator execution times
+// instead.
+func (g *Graph) Analyze() *Analysis {
+	a := &Analysis{
+		g:     g,
+		preds: make(map[*Node]map[*Node]bool, len(g.Nodes)),
+		reqIn: make(map[*Node]map[*Node]bool, len(g.Nodes)),
+		cost:  make(map[*Node]int, len(g.Nodes)),
+	}
+	list := g.DepthFirstList()
+	// Traverse the depth-first list back to front so that every
+	// predecessor is processed before its consumers.
+	for i := len(list) - 1; i >= 0; i-- {
+		v := list[i]
+		p := map[*Node]bool{v: true}
+		in := map[*Node]bool{}
+		if v.IsInput {
+			in[v] = true
+		}
+		for _, m := range g.Predecessors(v) {
+			for k := range a.preds[m] {
+				p[k] = true
+			}
+			for k := range a.reqIn[m] {
+				in[k] = true
+			}
+		}
+		a.preds[v] = p
+		a.reqIn[v] = in
+		c := 0
+		for k := range p {
+			if k.Cost > 0 {
+				c += k.Cost
+			} else {
+				c++
+			}
+		}
+		a.cost[v] = c
+	}
+	return a
+}
+
+// PredecessorSet returns P*(v) as a slice in creation order.
+func (a *Analysis) PredecessorSet(v *Node) []*Node { return a.setSlice(a.preds[v]) }
+
+// RequiredInputs returns I*(v) as a slice in creation order.
+func (a *Analysis) RequiredInputs(v *Node) []*Node { return a.setSlice(a.reqIn[v]) }
+
+// Cost returns C(v).
+func (a *Analysis) Cost(v *Node) int { return a.cost[v] }
+
+func (a *Analysis) setSlice(set map[*Node]bool) []*Node {
+	out := make([]*Node, 0, len(set))
+	for _, n := range a.g.Nodes {
+		if set[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// InputWeight computes W(v) = Σ_{u : v ∈ I*(u)} C(u) for an input node v —
+// the total cost of all computations that require v (Figure 4.16).
+func (a *Analysis) InputWeight(v *Node) int {
+	w := 0
+	for _, u := range a.g.Nodes {
+		if a.reqIn[u][v] {
+			w += a.cost[u]
+		}
+	}
+	return w
+}
+
+// InputOrder returns the graph's input nodes in a sequence satisfying the
+// π_I relation: inputs that enable more downstream computation come first
+// (descending W(v), ties broken by creation order). This is the heuristic
+// intercontext-communication order of §4.5: sending a context its operands
+// in this order maximizes the work it can do before waiting for the next
+// one.
+func (a *Analysis) InputOrder() []*Node {
+	inputs := a.g.Inputs()
+	sort.SliceStable(inputs, func(i, j int) bool {
+		return a.InputWeight(inputs[i]) > a.InputWeight(inputs[j])
+	})
+	return inputs
+}
+
+// DescendantCost reports Σ C(u) over all nodes u whose predecessor set
+// contains v — the total computation enabled by v. For input nodes this is
+// exactly the π_I weight W(v); the general form also serves graphs whose
+// external inputs are modelled as receive operators rather than IsInput
+// nodes.
+func (a *Analysis) DescendantCost(v *Node) int {
+	w := 0
+	for _, u := range a.g.Nodes {
+		if a.preds[u][v] {
+			w += a.cost[u]
+		}
+	}
+	return w
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"queuemachine/internal/workloads"
+)
+
+// TestEveryExperimentRuns executes the full experiment registry and checks
+// each produces output without error. The Chapter 6 sweeps are trimmed to
+// short machine-size lists elsewhere; here everything runs in full except
+// in -short mode, where the heavyweight sweeps are skipped.
+func TestEveryExperimentRuns(t *testing.T) {
+	heavy := map[string]bool{"fig6.8": true, "fig6.10": true, "fig6.11": true, "fig6.12": true, "table6.6": true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && heavy[e.ID] {
+				t.Skip("heavy sweep in -short mode")
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("table3.2"); !ok {
+		t.Error("table3.2 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("bogus id resolved")
+	}
+	// IDs are unique.
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+// TestFig68Superlinear checks the headline claim on the real benchmark
+// against the envelope the thesis itself fits: the modified Amdahl law with
+// f = 0.63, g = 0.3 is better than linear through four processors and gives
+// S(8) ≈ 6.5. The measured matrix-multiplication curve must exceed linear
+// over the superlinear range of that law and beat its eight-processor
+// value.
+func TestFig68Superlinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	var buf bytes.Buffer
+	points, err := SweepWorkload(&buf, workloads.MatMul(8), []int{1, 2, 3, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		switch {
+		case p.PEs >= 2 && p.PEs <= 4:
+			if p.Speedup <= float64(p.PEs) {
+				t.Errorf("%d PEs: speedup %.2f not better than linear", p.PEs, p.Speedup)
+			}
+		case p.PEs == 8:
+			if p.Speedup < 6.5 {
+				t.Errorf("8 PEs: speedup %.2f below the thesis's fitted S(8) = 6.5", p.Speedup)
+			}
+		}
+	}
+}
+
+func TestTable31GoldenFragment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table31(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fetch c", "fetch d", "fetch a", "fetch b", "((a*b)+((c-d)/e))"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table31 output missing %q", want)
+		}
+	}
+}
+
+func TestTable44Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table44(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[e / * + a b - c d]") {
+		t.Errorf("depth-first list wrong:\n%s", out)
+	}
+}
+
+func TestTable45Golden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table45(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a      27", "b      27", "c      26", "d      18"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table45 missing %q:\n%s", want, buf.String())
+		}
+	}
+}

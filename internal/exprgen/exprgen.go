@@ -1,0 +1,167 @@
+// Package exprgen enumerates binary expression parse trees, following §3.4
+// of the thesis, where all parse trees with a given number of nodes are
+// enumerated to compare the queue- and stack-based execution models on a
+// pipelined ALU (the enumeration procedure the thesis adapts from
+// [Solomon 1980]).
+//
+// A binary expression parse tree node is nullary (a leaf), unary (a left
+// child only), or binary; the number of distinct shapes with n nodes is the
+// Motzkin number M(n-1).
+package exprgen
+
+import (
+	"math/rand"
+
+	"queuemachine/internal/bintree"
+)
+
+// Count returns the number of distinct binary expression parse tree shapes
+// with exactly n nodes (the Motzkin number M(n-1); Count(0) = 0).
+func Count(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	counts := make([]int, n+1)
+	counts[1] = 1
+	for m := 2; m <= n; m++ {
+		c := counts[m-1] // unary root
+		for i := 1; i <= m-2; i++ {
+			c += counts[i] * counts[m-1-i] // binary root
+		}
+		counts[m] = c
+	}
+	return counts[n]
+}
+
+// ForEach invokes fn for every distinct parse tree shape with exactly n
+// nodes. The trees passed to fn share no structure with one another and may
+// be retained or mutated by fn. Enumeration stops early if fn returns false.
+// Leaves are labelled "L", unary nodes "U", and binary nodes "B"; use
+// Decorate to assign concrete operators and operand names.
+func ForEach(n int, fn func(*bintree.Node) bool) {
+	enumerate(n, func(t *bintree.Node) bool { return fn(t) })
+}
+
+// All returns every distinct parse tree shape with exactly n nodes.
+func All(n int) []*bintree.Node {
+	var out []*bintree.Node
+	ForEach(n, func(t *bintree.Node) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+func enumerate(n int, fn func(*bintree.Node) bool) bool {
+	if n <= 0 {
+		return true
+	}
+	if n == 1 {
+		return fn(&bintree.Node{Label: "L"})
+	}
+	// Unary root over every (n-1)-node subtree.
+	ok := enumerate(n-1, func(sub *bintree.Node) bool {
+		return fn(&bintree.Node{Label: "U", Left: sub})
+	})
+	if !ok {
+		return false
+	}
+	// Binary root over every split of the remaining n-1 nodes.
+	for i := 1; i <= n-2; i++ {
+		lefts := All(i)
+		ok := enumerate(n-1-i, func(right *bintree.Node) bool {
+			for _, left := range lefts {
+				if !fn(&bintree.Node{Label: "B", Left: clone(left), Right: right}) {
+					return false
+				}
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func clone(t *bintree.Node) *bintree.Node {
+	if t == nil {
+		return nil
+	}
+	return &bintree.Node{Label: t.Label, Left: clone(t.Left), Right: clone(t.Right)}
+}
+
+// Decorate assigns concrete operator and operand labels to an enumerated
+// shape so that the tree can be evaluated: leaves become a0, a1, ... (in
+// pre-order), unary nodes become "neg", and binary nodes cycle through
+// +, -, * (division is avoided so that every environment is safe). It
+// returns the tree it was given, relabelled in place, together with the
+// number of leaves.
+func Decorate(t *bintree.Node) (tree *bintree.Node, leaves int) {
+	binOps := []string{"+", "-", "*"}
+	nextLeaf, nextBin := 0, 0
+	var walk func(*bintree.Node)
+	walk = func(n *bintree.Node) {
+		if n == nil {
+			return
+		}
+		switch n.Arity() {
+		case 0:
+			n.Label = leafName(nextLeaf)
+			nextLeaf++
+		case 1:
+			n.Label = "neg"
+		default:
+			n.Label = binOps[nextBin%len(binOps)]
+			nextBin++
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t)
+	return t, nextLeaf
+}
+
+func leafName(i int) string {
+	name := []byte{'a'}
+	for ; i >= 26; i /= 26 {
+		name = append(name, byte('a'+i%26))
+	}
+	name = append(name, byte('a'+i%26))
+	return string(name[:max(1, len(name))])
+}
+
+// Random returns a uniformly structured (not uniformly distributed over
+// shapes, but covering all shapes with positive probability) random parse
+// tree with exactly n nodes, using the supplied source. It is used by
+// property-based tests on larger trees than exhaustive enumeration reaches.
+func Random(n int, rng *rand.Rand) *bintree.Node {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return &bintree.Node{Label: "L"}
+	}
+	// Choose the root kind with probability proportional to the number of
+	// trees it roots, for a roughly uniform draw.
+	unary := Count(n - 1)
+	total := Count(n)
+	if rng.Intn(total) < unary {
+		return &bintree.Node{Label: "U", Left: Random(n-1, rng)}
+	}
+	// Binary root: choose the left-subtree size proportionally.
+	r := rng.Intn(total - unary)
+	for i := 1; i <= n-2; i++ {
+		w := Count(i) * Count(n-1-i)
+		if r < w {
+			return &bintree.Node{
+				Label: "B",
+				Left:  Random(i, rng),
+				Right: Random(n-1-i, rng),
+			}
+		}
+		r -= w
+	}
+	// Unreachable for well-formed counts; fall back to a left-heavy split.
+	return &bintree.Node{Label: "B", Left: Random(n-2, rng), Right: Random(1, rng)}
+}

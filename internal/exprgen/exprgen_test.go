@@ -1,0 +1,158 @@
+package exprgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"queuemachine/internal/bintree"
+	"queuemachine/internal/queue"
+)
+
+// TestCountMotzkin checks the closed counts of parse-tree shapes against the
+// Motzkin numbers M(n-1).
+func TestCountMotzkin(t *testing.T) {
+	want := []int{0, 1, 1, 2, 4, 9, 21, 51, 127, 323, 835, 2188}
+	for n, w := range want {
+		if got := Count(n); got != w {
+			t.Errorf("Count(%d) = %d, want %d", n, got, w)
+		}
+	}
+	if Count(-3) != 0 {
+		t.Error("Count of negative n should be 0")
+	}
+}
+
+// TestEnumerationMatchesCount checks that ForEach produces exactly Count(n)
+// distinct trees, all valid, all with n nodes.
+func TestEnumerationMatchesCount(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		seen := map[string]bool{}
+		ForEach(n, func(tr *bintree.Node) bool {
+			if tr.Count() != n {
+				t.Fatalf("n=%d: tree has %d nodes", n, tr.Count())
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("n=%d: invalid tree: %v", n, err)
+			}
+			key := shapeKey(tr)
+			if seen[key] {
+				t.Fatalf("n=%d: duplicate shape %s", n, key)
+			}
+			seen[key] = true
+			return true
+		})
+		if len(seen) != Count(n) {
+			t.Errorf("n=%d: enumerated %d shapes, want %d", n, len(seen), Count(n))
+		}
+	}
+}
+
+func shapeKey(t *bintree.Node) string {
+	if t == nil {
+		return "."
+	}
+	return "(" + shapeKey(t.Left) + shapeKey(t.Right) + ")"
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	visited := 0
+	ForEach(7, func(*bintree.Node) bool {
+		visited++
+		return visited < 10
+	})
+	if visited != 10 {
+		t.Errorf("visited %d trees, want 10", visited)
+	}
+}
+
+func TestAllFourNodeShapes(t *testing.T) {
+	// Figure 3.5: the four parse trees with exactly four nodes.
+	trees := All(4)
+	if len(trees) != 4 {
+		t.Fatalf("All(4) returned %d trees", len(trees))
+	}
+	keys := map[string]bool{}
+	for _, tr := range trees {
+		keys[shapeKey(tr)] = true
+	}
+	for _, want := range []string{
+		"(((..)(..)).)", // unary over binary: -(x op y)
+		"(((..).)(..))", // binary(unary(leaf), leaf)
+		"((..)((..).))", // binary(leaf, unary(leaf))
+		"((((..).).).)", // unary chain: -(-(-x))
+	} {
+		if !keys[want] {
+			t.Errorf("missing shape %s (have %v)", want, keys)
+		}
+	}
+}
+
+// TestDecorateEvaluates decorates every enumerated shape up to 8 nodes and
+// checks the level-order queue sequence evaluates identically to direct
+// recursive evaluation — the Chapter 3 correctness theorem verified over the
+// exhaustive tree population used for Table 3.2.
+func TestDecorateEvaluates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= 8; n++ {
+		ForEach(n, func(tr *bintree.Node) bool {
+			_, leaves := Decorate(tr)
+			env := queue.Env{}
+			for i := 0; i < leaves; i++ {
+				env[leafName(i)] = int64(rng.Intn(19) - 9)
+			}
+			want, err := queue.EvalTree(tr, env)
+			if err != nil {
+				t.Fatalf("n=%d EvalTree: %v", n, err)
+			}
+			seq, err := queue.CompileTree(bintree.LevelOrder(tr), env)
+			if err != nil {
+				t.Fatalf("n=%d CompileTree: %v", n, err)
+			}
+			got, err := queue.EvalSimple(seq)
+			if err != nil {
+				t.Fatalf("n=%d (%s) EvalSimple: %v", n, bintree.Infix(tr), err)
+			}
+			if got != want {
+				t.Fatalf("n=%d (%s): queue=%d direct=%d", n, bintree.Infix(tr), got, want)
+			}
+			return true
+		})
+	}
+}
+
+func TestDecorateLeafNames(t *testing.T) {
+	tr := All(5)[0]
+	_, leaves := Decorate(tr)
+	if leaves < 1 {
+		t.Fatalf("no leaves")
+	}
+	if leafName(0) != "aa" && leafName(0) != "a" {
+		t.Errorf("leafName(0) = %q", leafName(0))
+	}
+	// Names must be distinct across a wide range.
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		name := leafName(i)
+		if seen[name] {
+			t.Fatalf("duplicate leaf name %q at %d", name, i)
+		}
+		seen[name] = true
+	}
+}
+
+func TestRandomShapesValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(30)
+		tr := Random(n, rng)
+		if tr.Count() != n {
+			t.Fatalf("Random(%d) has %d nodes", n, tr.Count())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Random(%d): %v", n, err)
+		}
+	}
+	if Random(0, rng) != nil {
+		t.Error("Random(0) should be nil")
+	}
+}

@@ -1,0 +1,405 @@
+package ift
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"queuemachine/internal/occam"
+)
+
+func build(t *testing.T, src string) (*occam.Program, *Table) {
+	t.Helper()
+	prog, err := occam.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	table, err := Build(prog)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return prog, table
+}
+
+func valueNames(vals []Value) []string {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// TestTable43 reproduces Table 4.3: the IFT of
+//
+//	seq
+//	  x := x + 1
+//	  y := x
+//
+// The seq entry has I = {x}, O = {x, y}; the first assignment's definition
+// of x is used by the second; and x's first use links to the seq's import.
+func TestTable43(t *testing.T) {
+	prog, table := build(t, `var x, y:
+seq
+  x := x + 1
+  y := x
+`)
+	scope := prog.Body.(*occam.Scope)
+	seqNode := scope.Body.(*occam.Seq)
+	seqEntry, err := table.Entry(seqNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqEntry.Kind != KSeq {
+		t.Fatalf("kind = %v", seqEntry.Kind)
+	}
+	if got := valueNames(seqEntry.Inputs()); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("I(seq) = %v, want [x]", got)
+	}
+	if got := valueNames(seqEntry.Outputs()); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Errorf("O(seq) = %v, want [x y]", got)
+	}
+
+	a1, err := table.Entry(seqNode.Body[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := table.Entry(seqNode.Body[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := valueNames(a1.Inputs()); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("I(a1) = %v", got)
+	}
+	if got := valueNames(a1.Outputs()); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("O(a1) = %v", got)
+	}
+	if got := valueNames(a2.Outputs()); !reflect.DeepEqual(got, []string{"y"}) {
+		t.Errorf("O(a2) = %v", got)
+	}
+
+	// Use/definition links: a1's x definition is used by a2; a1's x use
+	// resolves to the seq's import.
+	xOut := a1.O[0]
+	if !xOut.U[a2.Index] {
+		t.Errorf("U(a1.x) = %v, want a2 (%d)", xOut.U, a2.Index)
+	}
+	xIn := a1.I[0]
+	if !xIn.D[seqEntry.Index] {
+		t.Errorf("D(a1.x) = %v, want seq (%d)", xIn.D, seqEntry.Index)
+	}
+	if !a2.I[0].D[a1.Index] {
+		t.Errorf("D(a2.x) = %v, want a1 (%d)", a2.I[0].D, a1.Index)
+	}
+
+	// Liveness: a1's x is used by a2, hence live; a2's y has no further
+	// use, hence dead.
+	if !xOut.Live {
+		t.Error("a1.x should be live")
+	}
+	if a2.O[0].Live {
+		t.Error("a2.y should be dead at program end")
+	}
+}
+
+// TestChannelEntries checks the Table 4.1 shapes for input and output: both
+// use and regenerate the control token K, output reads the sent expression,
+// and the channel identifier itself is an input value.
+func TestChannelEntries(t *testing.T) {
+	prog, table := build(t, `chan c:
+var x, y:
+par
+  c ! x + 1
+  c ? y
+`)
+	par := prog.Body.(*occam.Scope).Body.(*occam.Par)
+	out, _ := table.Entry(par.Body[0])
+	in, _ := table.Entry(par.Body[1])
+	if got := valueNames(out.Inputs()); !reflect.DeepEqual(got, []string{"K", "c", "x"}) {
+		t.Errorf("I(output) = %v", got)
+	}
+	if got := valueNames(out.Outputs()); !reflect.DeepEqual(got, []string{"K"}) {
+		t.Errorf("O(output) = %v", got)
+	}
+	if got := valueNames(in.Inputs()); !reflect.DeepEqual(got, []string{"K", "c"}) {
+		t.Errorf("I(input) = %v", got)
+	}
+	if got := valueNames(in.Outputs()); !reflect.DeepEqual(got, []string{"K", "y"}) {
+		t.Errorf("O(input) = %v", got)
+	}
+	// The channel allocation defines c ahead of the par.
+	if len(in.I[1].D) == 0 {
+		t.Error("channel use has no definition link (chan alloc missing)")
+	}
+}
+
+// TestWhileLoopCarried checks the loop liveness rule: a value used only by
+// the containing while entry but listed among the loop's inputs is
+// loop-carried and therefore live.
+func TestWhileLoopCarried(t *testing.T) {
+	prog, table := build(t, `var k, s:
+seq
+  k := 0
+  s := 0
+  while k < 8
+    seq
+      s := s + k
+      k := k + 1
+  s := s + 1
+`)
+	scope := prog.Body.(*occam.Scope)
+	outerSeq := scope.Body.(*occam.Seq)
+	while := outerSeq.Body[2].(*occam.While)
+	wEntry, _ := table.Entry(while)
+	if wEntry.Kind != KWhile {
+		t.Fatalf("kind = %v", wEntry.Kind)
+	}
+	if got := valueNames(wEntry.Inputs()); !reflect.DeepEqual(got, []string{"k", "s"}) {
+		t.Errorf("I(while) = %v", got)
+	}
+	if got := valueNames(wEntry.Outputs()); !reflect.DeepEqual(got, []string{"s", "k"}) {
+		t.Errorf("O(while) = %v", got)
+	}
+	// Inside the loop body: k's definition is used only by the loop
+	// itself but is loop-carried, hence live; s is both carried and used
+	// after the loop.
+	bodySeq := while.Body.(*occam.Seq)
+	kAssign, _ := table.Entry(bodySeq.Body[1])
+	if !kAssign.O[0].Live {
+		t.Error("loop-carried k not live")
+	}
+	sAssign, _ := table.Entry(bodySeq.Body[0])
+	if !sAssign.O[0].Live {
+		t.Error("s not live in loop body")
+	}
+	// The while's own outputs: s is used by the final assignment (live);
+	// k is not used after the loop (dead).
+	for _, vi := range wEntry.O {
+		if vi.Val.Sym.Name == "s" && !vi.Live {
+			t.Error("while's s output should be live")
+		}
+		if vi.Val.Sym.Name == "k" && vi.Live {
+			t.Error("while's k output should be dead")
+		}
+	}
+}
+
+// TestVectorTokens checks the §4.6 discipline: reads of a vector import its
+// K_v token; writes import and regenerate it.
+func TestVectorTokens(t *testing.T) {
+	prog, table := build(t, `var v[8], x:
+seq
+  v[0] := 3
+  x := v[0] + v[1]
+`)
+	seq := prog.Body.(*occam.Scope).Body.(*occam.Seq)
+	w, _ := table.Entry(seq.Body[0])
+	r, _ := table.Entry(seq.Body[1])
+	if got := valueNames(w.Inputs()); !reflect.DeepEqual(got, []string{"K_v"}) {
+		t.Errorf("I(write) = %v", got)
+	}
+	if got := valueNames(w.Outputs()); !reflect.DeepEqual(got, []string{"K_v"}) {
+		t.Errorf("O(write) = %v", got)
+	}
+	if got := valueNames(r.Inputs()); !reflect.DeepEqual(got, []string{"K_v"}) {
+		t.Errorf("I(read) = %v", got)
+	}
+	// The read's token links to the write's token (read after write).
+	if !r.I[0].D[w.Index] {
+		t.Errorf("read token definition = %v, want write (%d)", r.I[0].D, w.Index)
+	}
+}
+
+// TestProcSummaries checks free-variable summaries, including through
+// recursion and vec-parameter token translation.
+func TestProcSummaries(t *testing.T) {
+	prog, table := build(t, `def n = 4:
+var g, data[4], out[4]:
+proc leaf(value i, vec d) =
+  d[i] := g + i
+proc walk(value i, vec d) =
+  if
+    i < n
+      seq
+        leaf(i, d)
+        walk(i + 1, d)
+    i >= n
+      skip
+seq
+  g := 7
+  walk(0, data)
+`)
+	var leafSym, walkSym *occam.Symbol
+	for _, s := range prog.Symbols {
+		switch {
+		case s.Name == "leaf" && s.Kind == occam.SymProc:
+			leafSym = s
+		case s.Name == "walk" && s.Kind == occam.SymProc:
+			walkSym = s
+		}
+	}
+	if leafSym == nil || walkSym == nil {
+		t.Fatal("proc symbols missing")
+	}
+	leafSum := table.Summary[leafSym]
+	if got := valueNames(leafSum.FreeIn); !reflect.DeepEqual(got, []string{"g"}) {
+		t.Errorf("leaf FreeIn = %v", got)
+	}
+	// walk calls leaf: g flows transitively into walk's summary.
+	walkSum := table.Summary[walkSym]
+	found := false
+	for _, v := range walkSum.FreeIn {
+		if v.String() == "g" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("walk FreeIn = %v, want g (transitive through leaf)", valueNames(walkSum.FreeIn))
+	}
+	// Neither summary leaks the vec parameter's token as a free value —
+	// it is translated to the actual argument at each call site.
+	for _, v := range walkSum.FreeIn {
+		if v.Token && v.Sym != nil && v.Sym.Kind == occam.SymParamVec {
+			t.Errorf("walk FreeIn leaks param token %v", v)
+		}
+	}
+}
+
+// TestFreeScalarWriteRejected checks the documented restriction: a proc may
+// not assign a free scalar (use a var parameter).
+func TestFreeScalarWriteRejected(t *testing.T) {
+	prog, err := occam.Parse(`var g:
+proc bad() =
+  g := 1
+seq
+  bad()
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(prog); err == nil || !strings.Contains(err.Error(), "free variable") {
+		t.Errorf("want free-variable error, got %v", err)
+	}
+}
+
+// TestVarParamsLive checks rule 3: var formals are live even without uses.
+func TestVarParamsLive(t *testing.T) {
+	prog, table := build(t, `var x:
+proc set(var o) =
+  o := 42
+seq
+  set(x)
+`)
+	var setSym *occam.Symbol
+	for _, s := range prog.Symbols {
+		if s.Name == "set" && s.Kind == occam.SymProc {
+			setSym = s
+		}
+	}
+	root := table.At(table.ProcRoot[setSym])
+	live := root.LiveOutputs()
+	if len(live) != 1 || live[0].Sym.Name != "o" {
+		t.Errorf("proc live outputs = %v", valueNames(live))
+	}
+}
+
+// TestParIndependentChains checks that parallel components do not see each
+// other's definitions (each has its own E chain).
+func TestParIndependentChains(t *testing.T) {
+	prog, table := build(t, `var a, b:
+seq
+  a := 1
+  par
+    b := a
+    a := 2
+`)
+	par := prog.Body.(*occam.Scope).Body.(*occam.Seq).Body[1].(*occam.Par)
+	pEntry, _ := table.Entry(par)
+	if len(pEntry.E) != 2 {
+		t.Fatalf("par chains = %d", len(pEntry.E))
+	}
+	// b := a links to the seq-level a := 1, not to the sibling a := 2.
+	read, _ := table.Entry(par.Body[0])
+	sibling, _ := table.Entry(par.Body[1])
+	if read.I[0].D[sibling.Index] {
+		t.Error("par sibling definitions leaked across chains")
+	}
+}
+
+// TestReplicatedSeq checks the Table 4.2 row for a replicated seq.
+func TestReplicatedSeq(t *testing.T) {
+	prog, table := build(t, `var sum, result:
+seq
+  sum := 0
+  seq k = [1 for 10]
+    sum := sum + k
+  result := sum
+`)
+	seq := prog.Body.(*occam.Scope).Body.(*occam.Seq)
+	rep, _ := table.Entry(seq.Body[1])
+	if rep.Kind != KRepSeq {
+		t.Fatalf("kind = %v", rep.Kind)
+	}
+	if got := valueNames(rep.Inputs()); !reflect.DeepEqual(got, []string{"sum"}) {
+		t.Errorf("I(repseq) = %v", got)
+	}
+	if got := valueNames(rep.Outputs()); !reflect.DeepEqual(got, []string{"sum"}) {
+		t.Errorf("O(repseq) = %v", got)
+	}
+}
+
+// TestRepParScalarWriteRejected enforces the replicated-par restriction.
+func TestRepParScalarWriteRejected(t *testing.T) {
+	prog, err := occam.Parse(`var s:
+par i = [0 for 4]
+  s := i
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(prog); err == nil || !strings.Contains(err.Error(), "vector elements") {
+		t.Errorf("want replicated-par error, got %v", err)
+	}
+}
+
+func TestWaitAndNowEntries(t *testing.T) {
+	prog, table := build(t, `var x:
+seq
+  x := now
+  wait now after x + 10
+`)
+	seq := prog.Body.(*occam.Scope).Body.(*occam.Seq)
+	a, _ := table.Entry(seq.Body[0])
+	if got := valueNames(a.Inputs()); !reflect.DeepEqual(got, []string{"K"}) {
+		t.Errorf("I(x := now) = %v", got)
+	}
+	if got := valueNames(a.Outputs()); !reflect.DeepEqual(got, []string{"K", "x"}) {
+		t.Errorf("O(x := now) = %v", got)
+	}
+	w, _ := table.Entry(seq.Body[1])
+	if w.Kind != KWait {
+		t.Fatalf("kind = %v", w.Kind)
+	}
+	if got := valueNames(w.Inputs()); !reflect.DeepEqual(got, []string{"K", "x"}) {
+		t.Errorf("I(wait) = %v", got)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KAssign; k <= KMain; k++ {
+		if strings.Contains(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if !KSeq.Interface() || KAssign.Interface() {
+		t.Error("Interface() wrong")
+	}
+	if !KWhile.Loop() || KSeq.Loop() {
+		t.Error("Loop() wrong")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if KIO.String() != "K" {
+		t.Error("KIO string")
+	}
+}

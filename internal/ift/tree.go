@@ -1,0 +1,425 @@
+package ift
+
+import (
+	"fmt"
+
+	"queuemachine/internal/occam"
+)
+
+// buildProcTrees creates the IFT trees for every proc declaration, in
+// declaration order.
+func (b *builder) buildProcTrees(p occam.Process) error {
+	var procs []*occam.Decl
+	collectProcs(p, &procs)
+	for _, d := range procs {
+		if err := b.procTree(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *builder) procTree(d *occam.Decl) error {
+	// Pseudo-entry defining the formal parameters, so body uses link to it.
+	params := b.newEntry(KParams, d)
+	for _, p := range d.Param {
+		switch p.Mode {
+		case occam.ParamVec:
+			params.output(VecToken(p.Sym))
+		default:
+			params.output(Val(p.Sym))
+		}
+	}
+	body, err := b.process(d.Body)
+	if err != nil {
+		return err
+	}
+	root := b.newEntry(KProcBody, d.Body)
+	root.E = [][]int{{params.Index, body}}
+	b.propagateSeq(root, []int{params.Index, body})
+	// Remove parameter definitions from the root's input set: they are
+	// supplied by the call protocol, not imported as free values.
+	// (propagateSeq already subtracts params' O from later inputs.)
+	// Ensure the copy-out values are outputs even if never assigned.
+	sum := b.t.Summary[d.Sym]
+	for _, p := range d.Param {
+		switch p.Mode {
+		case occam.ParamVar:
+			root.output(Val(p.Sym))
+		case occam.ParamVec:
+			if sum != nil && sum.WritesToken[VecToken(p.Sym)] {
+				root.outputWrite(VecToken(p.Sym))
+			} else {
+				root.output(VecToken(p.Sym))
+			}
+		}
+	}
+	b.t.ProcRoot[d.Sym] = root.Index
+	b.t.ProcParams[d.Sym] = params.Index
+	return nil
+}
+
+// process builds the entry (sub)tree for one process and returns its index.
+func (b *builder) process(p occam.Process) (int, error) {
+	switch n := p.(type) {
+	case *occam.Skip:
+		return b.newEntry(KSkip, n).Index, nil
+
+	case *occam.Assign:
+		e := b.newEntry(KAssign, n)
+		b.addExprUses(e, n.Value)
+		if err := b.addWrite(e, n.Target); err != nil {
+			return 0, err
+		}
+		return e.Index, nil
+
+	case *occam.Input:
+		e := b.newEntry(KInput, n)
+		e.input(KIO)
+		b.addChanUse(e, n.Chan)
+		e.outputWrite(KIO)
+		if err := b.addWrite(e, n.Target); err != nil {
+			return 0, err
+		}
+		return e.Index, nil
+
+	case *occam.Output:
+		e := b.newEntry(KOutput, n)
+		e.input(KIO)
+		b.addChanUse(e, n.Chan)
+		b.addExprUses(e, n.Value)
+		e.outputWrite(KIO)
+		return e.Index, nil
+
+	case *occam.Wait:
+		e := b.newEntry(KWait, n)
+		e.input(KIO)
+		b.addExprUses(e, n.After)
+		e.outputWrite(KIO)
+		return e.Index, nil
+
+	case *occam.Call:
+		return b.callEntry(n)
+
+	case *occam.Scope:
+		return b.scopeEntry(n)
+
+	case *occam.Seq:
+		if n.Rep != nil {
+			return b.replicated(KRepSeq, n, n.Rep, n.Body)
+		}
+		return b.seqEntry(n, n.Body)
+
+	case *occam.Par:
+		if n.Rep != nil {
+			return b.replicated(KRepPar, n, n.Rep, n.Body)
+		}
+		return b.parEntry(n, n.Body)
+
+	case *occam.If:
+		return b.ifEntry(n)
+
+	case *occam.While:
+		return b.whileEntry(n)
+	}
+	return 0, fmt.Errorf("ift: unknown process %T", p)
+}
+
+// addExprUses adds an expression's reads (and the K token when it uses the
+// real-time clock) to an entry's input set; now also regenerates K.
+// A vector READ both consumes and regenerates the vector's token: under the
+// §4.6 discipline a subsequent writer must wait for outstanding reads
+// (antidependence), which across spliced contexts requires the token to
+// round-trip through every reading construct. Readers inside one graph (or
+// parallel components, which each receive their own token copy) still run
+// unordered.
+func (b *builder) addExprUses(e *Entry, expr occam.Expr) {
+	if usesNow(expr) {
+		e.input(KIO)
+		e.outputWrite(KIO)
+	}
+	for _, v := range exprUses(expr) {
+		e.input(v)
+		if v.Token {
+			e.output(v) // read-flavored regeneration
+		}
+	}
+}
+
+// addWrite records the definition made by an assignment or input target.
+func (b *builder) addWrite(e *Entry, ref *occam.VarRef) error {
+	if ref.Index != nil {
+		b.addExprUses(e, ref.Index)
+		e.input(VecToken(ref.Sym))
+		if ref.Sym.Kind == occam.SymParamVec {
+			e.input(Val(ref.Sym))
+		}
+		e.outputWrite(VecToken(ref.Sym))
+		return nil
+	}
+	e.output(Val(ref.Sym))
+	return nil
+}
+
+// addChanUse records the reads of a channel reference.
+func (b *builder) addChanUse(e *Entry, ref *occam.VarRef) {
+	if ref.Index != nil {
+		b.addExprUses(e, ref.Index)
+		e.input(VecToken(ref.Sym))
+		e.output(VecToken(ref.Sym))
+		if ref.Sym.Kind == occam.SymParamVec {
+			e.input(Val(ref.Sym))
+		}
+		return
+	}
+	e.input(Val(ref.Sym))
+}
+
+func (b *builder) callEntry(n *occam.Call) (int, error) {
+	e := b.newEntry(KCall, n)
+	callee := n.Sym
+	for i, arg := range n.Args {
+		param := callee.Proc.Param[i]
+		switch param.Mode {
+		case occam.ParamValue:
+			b.addExprUses(e, arg)
+		case occam.ParamVar:
+			ref := arg.(*occam.VarRef)
+			e.input(Val(ref.Sym))
+			e.output(Val(ref.Sym))
+		case occam.ParamVec:
+			ref := arg.(*occam.VarRef)
+			e.input(VecToken(ref.Sym))
+			if b.t.Summary[callee] != nil && b.t.Summary[callee].WritesToken[VecToken(param.Sym)] {
+				e.outputWrite(VecToken(ref.Sym))
+			} else {
+				e.output(VecToken(ref.Sym))
+			}
+		case occam.ParamChan:
+			b.addChanUse(e, arg.(*occam.VarRef))
+		}
+	}
+	sum := b.t.Summary[callee]
+	if sum == nil {
+		return 0, fmt.Errorf("ift: %v: no summary for proc %q", n.P, n.Name)
+	}
+	for _, v := range sum.FreeIn {
+		e.input(b.translateParamValue(v, callee, n))
+	}
+	for _, v := range sum.FreeOut {
+		tv := b.translateParamValue(v, callee, n)
+		if !tv.Token && tv.Sym != nil {
+			return 0, fmt.Errorf("ift: %v: proc %q assigns free variable %q; pass it as a var parameter instead",
+				n.P, n.Name, tv.Sym.Name)
+		}
+		e.input(tv) // antidependence: the old token is consumed
+		if sum.WritesToken[v] {
+			e.outputWrite(tv)
+		} else {
+			e.output(tv)
+		}
+	}
+	return e.Index, nil
+}
+
+func (b *builder) scopeEntry(n *occam.Scope) (int, error) {
+	e := b.newEntry(KScope, n)
+	var chain []int
+	locals := map[*occam.Symbol]bool{}
+	for _, d := range n.Decls {
+		switch d.Kind {
+		case occam.DeclVar:
+			for _, item := range d.Items {
+				locals[item.Sym] = true
+			}
+		case occam.DeclChan:
+			for _, item := range d.Items {
+				locals[item.Sym] = true
+				alloc := b.newEntry(KChanAlloc, item)
+				if item.Sym.Kind == occam.SymVecChan {
+					alloc.outputWrite(VecToken(item.Sym))
+				} else {
+					alloc.output(Val(item.Sym))
+				}
+				chain = append(chain, alloc.Index)
+			}
+		case occam.DeclDef, occam.DeclProc:
+			// Constants fold away; proc bodies have their own trees.
+		}
+	}
+	body, err := b.process(n.Body)
+	if err != nil {
+		return 0, err
+	}
+	chain = append(chain, body)
+	e.E = [][]int{chain}
+	b.propagateSeq(e, chain)
+	// Locally declared values (and their tokens) do not escape the scope.
+	filter := func(vis []*ValueInfo) []*ValueInfo {
+		var out []*ValueInfo
+		for _, vi := range vis {
+			if vi.Val.Sym != nil && locals[vi.Val.Sym] {
+				continue
+			}
+			out = append(out, vi)
+		}
+		return out
+	}
+	e.I = filter(e.I)
+	e.O = filter(e.O)
+	return e.Index, nil
+}
+
+func (b *builder) seqEntry(n *occam.Seq, body []Process) (int, error) {
+	e := b.newEntry(KSeq, n)
+	var chain []int
+	for _, c := range body {
+		idx, err := b.process(c)
+		if err != nil {
+			return 0, err
+		}
+		chain = append(chain, idx)
+	}
+	e.E = [][]int{chain}
+	b.propagateSeq(e, chain)
+	return e.Index, nil
+}
+
+// Process aliases occam.Process for brevity in this file.
+type Process = occam.Process
+
+func (b *builder) parEntry(n *occam.Par, body []Process) (int, error) {
+	e := b.newEntry(KPar, n)
+	for _, c := range body {
+		idx, err := b.process(c)
+		if err != nil {
+			return 0, err
+		}
+		e.E = append(e.E, []int{idx})
+		// Table 4.2: par imports the union of component inputs and
+		// exports the union of component outputs.
+		for _, vi := range b.t.Entries[idx].I {
+			e.input(vi.Val)
+		}
+		for _, vi := range b.t.Entries[idx].O {
+			e.outputFrom(vi)
+		}
+	}
+	return e.Index, nil
+}
+
+func (b *builder) ifEntry(n *occam.If) (int, error) {
+	e := b.newEntry(KIf, n)
+	for _, g := range n.Branches {
+		cond := b.newEntry(KCond, g)
+		b.addExprUses(cond, g.Cond)
+		body, err := b.process(g.Body)
+		if err != nil {
+			return 0, err
+		}
+		e.E = append(e.E, []int{cond.Index, body})
+		for _, vi := range cond.I {
+			e.input(vi.Val)
+		}
+		for _, vi := range b.t.Entries[body].I {
+			e.input(vi.Val)
+		}
+		for _, vi := range b.t.Entries[body].O {
+			e.outputFrom(vi)
+		}
+	}
+	// An if only MAY define its outputs: the untaken branches (and the
+	// implicit skip) pass the incoming values through, so every output is
+	// also an input. Without this, a preceding definition looks dead to
+	// the use/definition chains even though the splice protocol consumes
+	// it. (Table 4.2's formulas omit this; the live-value rules need it.)
+	for _, vi := range e.O {
+		e.input(vi.Val)
+	}
+	return e.Index, nil
+}
+
+func (b *builder) whileEntry(n *occam.While) (int, error) {
+	e := b.newEntry(KWhile, n)
+	cond := b.newEntry(KCond, n.Cond)
+	b.addExprUses(cond, n.Cond)
+	body, err := b.process(n.Body)
+	if err != nil {
+		return 0, err
+	}
+	e.E = [][]int{{cond.Index, body}}
+	for _, vi := range cond.I {
+		e.input(vi.Val)
+	}
+	for _, vi := range b.t.Entries[body].I {
+		e.input(vi.Val)
+	}
+	for _, vi := range b.t.Entries[body].O {
+		e.outputFrom(vi)
+	}
+	// A while's body may run zero times: outputs pass through, so they
+	// are also inputs (see ifEntry).
+	for _, vi := range e.O {
+		e.input(vi.Val)
+	}
+	return e.Index, nil
+}
+
+func (b *builder) replicated(kind Kind, n any, rep *occam.Replicator, body []Process) (int, error) {
+	e := b.newEntry(kind, n)
+	r := b.newEntry(KRep, rep)
+	b.addExprUses(r, rep.From)
+	b.addExprUses(r, rep.Count)
+	r.output(Val(rep.Sym))
+	bodyIdx, err := b.process(body[0])
+	if err != nil {
+		return 0, err
+	}
+	e.E = [][]int{{r.Index, bodyIdx}}
+	// Table 4.2: I = I(R) ∪ (I(P) − O(R)); O = O(P).
+	for _, vi := range r.I {
+		e.input(vi.Val)
+	}
+	for _, vi := range b.t.Entries[bodyIdx].I {
+		if vi.Val == Val(rep.Sym) {
+			continue
+		}
+		e.input(vi.Val)
+	}
+	for _, vi := range b.t.Entries[bodyIdx].O {
+		if vi.Val == Val(rep.Sym) {
+			continue
+		}
+		e.outputFrom(vi)
+	}
+	if kind == KRepPar {
+		// Instances run concurrently; a scalar defined by the body is
+		// ill-defined across instances (§4.3's OCCAM semantics make
+		// at most one writer, which a replicated body violates).
+		for _, vi := range b.t.Entries[bodyIdx].O {
+			if !vi.Val.Token && vi.Val.Sym != nil && vi.Val != Val(rep.Sym) {
+				return 0, fmt.Errorf("ift: %v: replicated par body assigns scalar %q; only vector elements may be written",
+					rep.P, vi.Val.Sym.Name)
+			}
+		}
+	}
+	return e.Index, nil
+}
+
+// propagateSeq fills a sequential interface entry's I and O sets per Table
+// 4.2: I = I(P1) ∪ ⋃ (I(Pi) − ⋃_{j<i} O(Pj)); O = ⋃ O(Pi).
+func (b *builder) propagateSeq(e *Entry, chain []int) {
+	defined := map[Value]bool{}
+	for _, idx := range chain {
+		child := b.t.Entries[idx]
+		for _, vi := range child.I {
+			if !defined[vi.Val] {
+				e.input(vi.Val)
+			}
+		}
+		for _, vi := range child.O {
+			defined[vi.Val] = true
+			e.outputFrom(vi)
+		}
+	}
+}

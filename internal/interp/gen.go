@@ -1,0 +1,273 @@
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Generate builds a random OCCAM program for differential testing. The
+// program's entire observable state funnels into three vectors — out (all
+// scalars are stored there at the end), va and vb — so comparing those
+// vectors compares everything. Generated programs are total and
+// deterministic by construction: no division, masked vector indices,
+// bounded loops, and parallel components with statically disjoint write
+// sets whose expressions never read anything a sibling may write (the
+// OCCAM rule that at most one component of a par may use a variable it
+// assigns).
+func Generate(rng *rand.Rand) string {
+	g := &generator{rng: rng}
+	return g.program()
+}
+
+type generator struct {
+	rng *rand.Rand
+	b   strings.Builder
+	// free loop counters (each while consumes one).
+	counters []string
+	// reps in scope (replicator indices readable in expressions).
+	reps  []string
+	depth int
+}
+
+// envCtx captures what a statement may write and what its expressions may
+// read without racing a parallel sibling.
+type envCtx struct {
+	write    []string // assignable scalars
+	read     []string // readable scalars
+	wVA, wVB bool     // may write the vector
+	rVA, rVB bool     // may read the vector
+}
+
+const (
+	vaSize, vaMask = 8, 7
+	vbSize, vbMask = 4, 3
+)
+
+var allScalars = []string{"s0", "s1", "s2", "s3", "s4", "s5"}
+
+func (g *generator) program() string {
+	g.counters = []string{"w0", "w1", "w2", "w3"}
+	g.b.WriteString("def mag = 3:\n")
+	g.b.WriteString("var out[8], va[8], vb[4]:\n")
+	g.b.WriteString("var s0, s1, s2, s3, s4, s5:\n")
+	g.b.WriteString("var w0, w1, w2, w3:\n")
+	g.b.WriteString("proc pf(value x, value y, var z) =\n")
+	g.b.WriteString("  z := ((x * 3) - y) >< (x << 1)\n")
+	g.b.WriteString("proc pv(vec d, value x, value e) =\n")
+	g.b.WriteString("  d[x /\\ 7] := e + x\n")
+	g.b.WriteString("seq\n")
+	ctx := envCtx{write: allScalars, read: allScalars, wVA: true, wVB: true, rVA: true, rVB: true}
+	// A few seed assignments so early expressions read nonzero values.
+	for i, s := range allScalars[:3] {
+		g.line(1, "%s := %d", s, g.rng.Intn(17)-8+i)
+	}
+	n := 3 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		g.stmt(1, ctx)
+	}
+	// Funnel every scalar into out.
+	for i, s := range allScalars {
+		g.line(1, "out[%d] := %s", i, s)
+	}
+	return g.b.String()
+}
+
+func (g *generator) line(indent int, format string, args ...any) {
+	g.b.WriteString(strings.Repeat("  ", indent))
+	fmt.Fprintf(&g.b, format+"\n", args...)
+}
+
+// stmt emits one random statement under the given read/write permissions.
+func (g *generator) stmt(indent int, ctx envCtx) {
+	g.depth++
+	defer func() { g.depth-- }()
+	choices := []int{0, 0, 1, 2} // weight simple assignments
+	if g.depth < 4 {
+		choices = append(choices, 3, 4, 5, 6, 7, 8)
+	}
+	switch c := choices[g.rng.Intn(len(choices))]; c {
+	case 0: // scalar assignment
+		if len(ctx.write) == 0 {
+			g.line(indent, "skip")
+			return
+		}
+		g.line(indent, "%s := %s", ctx.write[g.rng.Intn(len(ctx.write))], g.expr(0, ctx))
+	case 1: // vector write
+		switch {
+		case ctx.wVA:
+			g.line(indent, "va[(%s) /\\ %d] := %s", g.expr(1, ctx), vaMask, g.expr(0, ctx))
+		case ctx.wVB:
+			g.line(indent, "vb[(%s) /\\ %d] := %s", g.expr(1, ctx), vbMask, g.expr(0, ctx))
+		default:
+			g.line(indent, "skip")
+		}
+	case 2: // proc call
+		if ctx.wVA && g.rng.Intn(3) == 0 {
+			g.line(indent, "pv(va, %s, %s)", g.exprNoVA(1, ctx), g.exprNoVA(1, ctx))
+			return
+		}
+		if len(ctx.write) == 0 {
+			g.line(indent, "skip")
+			return
+		}
+		g.line(indent, "pf(%s, %s, %s)", g.expr(1, ctx), g.expr(1, ctx), ctx.write[g.rng.Intn(len(ctx.write))])
+	case 3: // seq block
+		g.line(indent, "seq")
+		k := 2 + g.rng.Intn(2)
+		for i := 0; i < k; i++ {
+			g.stmt(indent+1, ctx)
+		}
+	case 4: // par block with disjoint write sets and race-free reads
+		if len(ctx.write) < 2 {
+			g.stmt(indent, ctx)
+			return
+		}
+		g.line(indent, "par")
+		cut := 1 + g.rng.Intn(len(ctx.write)-1)
+		left, right := ctx.write[:cut], ctx.write[cut:]
+		// Scalars neither branch writes stay readable by both.
+		inert := diff(ctx.read, ctx.write)
+		leftCtx := envCtx{
+			write: left, read: union(left, inert),
+			wVA: ctx.wVA, rVA: ctx.wVA || (ctx.rVA && !ctx.wVA),
+			rVB: ctx.rVB && !ctx.wVB,
+		}
+		rightCtx := envCtx{
+			write: right, read: union(right, inert),
+			wVB: ctx.wVB, rVB: ctx.wVB || (ctx.rVB && !ctx.wVB),
+			rVA: ctx.rVA && !ctx.wVA,
+		}
+		g.branch(indent+1, leftCtx)
+		g.branch(indent+1, rightCtx)
+	case 5: // if
+		g.line(indent, "if")
+		k := 1 + g.rng.Intn(3)
+		for i := 0; i < k; i++ {
+			g.line(indent+1, "%s", g.expr(0, ctx))
+			g.stmt(indent+2, ctx)
+		}
+	case 6: // bounded while
+		if len(g.counters) == 0 || len(ctx.write) == 0 {
+			g.line(indent, "skip")
+			return
+		}
+		ctr := g.counters[len(g.counters)-1]
+		g.counters = g.counters[:len(g.counters)-1]
+		bound := 1 + g.rng.Intn(3)
+		g.line(indent, "seq")
+		g.line(indent+1, "%s := 0", ctr)
+		g.line(indent+1, "while %s < %d", ctr, bound)
+		g.line(indent+2, "seq")
+		g.stmt(indent+3, ctx)
+		g.line(indent+3, "%s := %s + 1", ctr, ctr)
+	case 7: // replicated seq
+		rep := fmt.Sprintf("r%d", len(g.reps))
+		g.line(indent, "seq %s = [%d for %d]", rep, g.rng.Intn(3), 1+g.rng.Intn(3))
+		g.reps = append(g.reps, rep)
+		g.stmt(indent+1, ctx)
+		g.reps = g.reps[:len(g.reps)-1]
+	case 8: // replicated par writing disjoint elements of one vector
+		rep := fmt.Sprintf("r%d", len(g.reps))
+		g.reps = append(g.reps, rep)
+		// Instances write distinct elements of the chosen vector; their
+		// expressions must not read it (another instance's element).
+		body := ctx
+		body.write = nil
+		switch {
+		case ctx.wVA:
+			body.rVA, body.wVA, body.wVB = false, false, false
+			g.line(indent, "par %s = [0 for %d]", rep, 1+g.rng.Intn(vaSize))
+			g.line(indent+1, "va[%s] := %s", rep, g.expr(0, body))
+		case ctx.wVB:
+			body.rVB, body.wVA, body.wVB = false, false, false
+			g.line(indent, "par %s = [0 for %d]", rep, 1+g.rng.Intn(vbSize))
+			g.line(indent+1, "vb[%s] := %s", rep, g.expr(0, body))
+		default:
+			g.line(indent, "skip")
+		}
+		g.reps = g.reps[:len(g.reps)-1]
+	}
+}
+
+// branch emits one parallel component.
+func (g *generator) branch(indent int, ctx envCtx) {
+	g.line(indent, "seq")
+	k := 1 + g.rng.Intn(2)
+	for i := 0; i < k; i++ {
+		g.stmt(indent+1, ctx)
+	}
+}
+
+// exprNoVA builds an expression that does not read va (for pv arguments,
+// whose evaluation order relative to the callee's writes crosses a context
+// boundary only sequentially — but instances spawned from replicated
+// contexts must still avoid the written vector).
+func (g *generator) exprNoVA(depth int, ctx envCtx) string {
+	c := ctx
+	c.rVA = false
+	return g.expr(depth, c)
+}
+
+// expr emits a random total expression under the read permissions.
+func (g *generator) expr(depth int, ctx envCtx) string {
+	if depth > 2 || g.rng.Intn(3) == 0 {
+		for tries := 0; tries < 4; tries++ {
+			switch g.rng.Intn(4) {
+			case 0:
+				return fmt.Sprintf("%d", g.rng.Intn(41)-20)
+			case 1:
+				if len(ctx.read) > 0 {
+					return ctx.read[g.rng.Intn(len(ctx.read))]
+				}
+			case 2:
+				if len(g.reps) > 0 {
+					return g.reps[g.rng.Intn(len(g.reps))]
+				}
+				return "mag"
+			default:
+				if ctx.rVA && g.rng.Intn(2) == 0 {
+					return fmt.Sprintf("va[(%s) /\\ %d]", g.expr(depth+2, ctx), vaMask)
+				}
+				if ctx.rVB {
+					return fmt.Sprintf("vb[(%s) /\\ %d]", g.expr(depth+2, ctx), vbMask)
+				}
+			}
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(21)-10)
+	}
+	ops := []string{"+", "-", "*", "/\\", "\\/", "><", "<<", ">>", "=", "<>", "<", ">", "<=", ">=", "and", "or"}
+	op := ops[g.rng.Intn(len(ops))]
+	if g.rng.Intn(8) == 0 {
+		return fmt.Sprintf("(- %s)", g.expr(depth+1, ctx))
+	}
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth+1, ctx), op, g.expr(depth+1, ctx))
+}
+
+func union(a, b []string) []string {
+	out := append([]string{}, a...)
+	seen := map[string]bool{}
+	for _, s := range a {
+		seen[s] = true
+	}
+	for _, s := range b {
+		if !seen[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func diff(a, b []string) []string {
+	drop := map[string]bool{}
+	for _, s := range b {
+		drop[s] = true
+	}
+	var out []string
+	for _, s := range a {
+		if !drop[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+// Package interp is a direct reference interpreter for the OCCAM subset:
+// it evaluates the analyzed AST with ordinary recursive execution, entirely
+// independent of the data-flow compiler and the multiprocessor simulator.
+// Differential tests generate random programs and require the interpreter,
+// the compiler under every optimization setting, and the simulator at every
+// machine size to agree on the final contents of every vector.
+//
+// Channel communication and real-time waits are out of the interpreter's
+// scope (the sequential evaluation order cannot express a rendezvous); the
+// random-program generator avoids them, and the hand-written channel tests
+// in internal/compile cover those paths.
+package interp
+
+import (
+	"fmt"
+
+	"queuemachine/internal/occam"
+)
+
+// State is the interpreter's store.
+type State struct {
+	scalars map[*occam.Symbol]int32
+	vectors map[*occam.Symbol][]int32
+}
+
+// NewState builds an empty store.
+func NewState() *State {
+	return &State{
+		scalars: map[*occam.Symbol]int32{},
+		vectors: map[*occam.Symbol][]int32{},
+	}
+}
+
+// Vector returns the final contents of a vector by symbol.
+func (s *State) Vector(sym *occam.Symbol) []int32 { return s.vectors[sym] }
+
+// VectorByName returns the final contents of the outermost vector with the
+// given name.
+func (s *State) VectorByName(name string) ([]int32, error) {
+	var best *occam.Symbol
+	for sym := range s.vectors {
+		if sym.Name == name && (best == nil || sym.ID < best.ID) {
+			best = sym
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("interp: no vector %q", name)
+	}
+	return s.vectors[best], nil
+}
+
+// Run interprets a program and returns the final store.
+func Run(prog *occam.Program) (*State, error) {
+	st := NewState()
+	in := &interp{state: st}
+	if err := in.process(prog.Body); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+type interp struct {
+	state *State
+}
+
+func (in *interp) vectorOf(sym *occam.Symbol) []int32 {
+	v, ok := in.state.vectors[sym]
+	if !ok {
+		v = make([]int32, sym.Size)
+		in.state.vectors[sym] = v
+	}
+	return v
+}
+
+func (in *interp) process(p occam.Process) error {
+	switch n := p.(type) {
+	case *occam.Skip:
+		return nil
+	case *occam.Scope:
+		for _, d := range n.Decls {
+			if d.Kind == occam.DeclVar {
+				for _, item := range d.Items {
+					if item.Sym.IsVector() {
+						in.vectorOf(item.Sym)
+					}
+				}
+			}
+		}
+		return in.process(n.Body)
+	case *occam.Assign:
+		v, err := in.expr(n.Value)
+		if err != nil {
+			return err
+		}
+		return in.assign(n.Target, v)
+	case *occam.Seq:
+		if n.Rep != nil {
+			return in.replicated(n.Rep, n.Body[0])
+		}
+		for _, b := range n.Body {
+			if err := in.process(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *occam.Par:
+		// OCCAM guarantees disjoint writes across parallel components,
+		// so sequential evaluation computes the same final store.
+		if n.Rep != nil {
+			return in.replicated(n.Rep, n.Body[0])
+		}
+		for _, b := range n.Body {
+			if err := in.process(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *occam.While:
+		for iter := 0; ; iter++ {
+			if iter > 1_000_000 {
+				return fmt.Errorf("interp: %v: while loop exceeded a million iterations", n.P)
+			}
+			c, err := in.expr(n.Cond)
+			if err != nil {
+				return err
+			}
+			if c == 0 {
+				return nil
+			}
+			if err := in.process(n.Body); err != nil {
+				return err
+			}
+		}
+	case *occam.If:
+		for _, g := range n.Branches {
+			c, err := in.expr(g.Cond)
+			if err != nil {
+				return err
+			}
+			if c != 0 {
+				return in.process(g.Body)
+			}
+		}
+		return nil // no guard true behaves as skip
+	case *occam.Call:
+		return in.call(n)
+	case *occam.Input, *occam.Output, *occam.Wait:
+		return fmt.Errorf("interp: %v: channel and real-time operations are outside the reference interpreter", p.ProcPos())
+	}
+	return fmt.Errorf("interp: unknown process %T", p)
+}
+
+func (in *interp) replicated(rep *occam.Replicator, body occam.Process) error {
+	from, err := in.expr(rep.From)
+	if err != nil {
+		return err
+	}
+	count, err := in.expr(rep.Count)
+	if err != nil {
+		return err
+	}
+	for k := int32(0); k < count; k++ {
+		in.state.scalars[rep.Sym] = from + k
+		if err := in.process(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) assign(ref *occam.VarRef, v int32) error {
+	if ref.Index == nil {
+		in.state.scalars[ref.Sym] = v
+		return nil
+	}
+	idx, err := in.expr(ref.Index)
+	if err != nil {
+		return err
+	}
+	vec := in.vectorOf(ref.Sym)
+	if idx < 0 || int(idx) >= len(vec) {
+		return fmt.Errorf("interp: %v: %s[%d] out of bounds (size %d)", ref.P, ref.Name, idx, len(vec))
+	}
+	if ref.Sym.Kind == occam.SymVecByteVar {
+		// Bytes are unsigned, right-justified without sign extension.
+		v &= 0xff
+	}
+	vec[idx] = v
+	return nil
+}
+
+func (in *interp) expr(e occam.Expr) (int32, error) {
+	switch n := e.(type) {
+	case *occam.IntLit:
+		return n.V, nil
+	case *occam.NowExpr:
+		return 0, fmt.Errorf("interp: %v: now is outside the reference interpreter", n.P)
+	case *occam.UnaryExpr:
+		v, err := in.expr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		if n.Op == "-" {
+			return -v, nil
+		}
+		return ^v, nil
+	case *occam.BinExpr:
+		a, err := in.expr(n.A)
+		if err != nil {
+			return 0, err
+		}
+		b, err := in.expr(n.B)
+		if err != nil {
+			return 0, err
+		}
+		return occam.EvalBinOp(n.Op, a, b)
+	case *occam.VarRef:
+		if n.Sym.Kind == occam.SymDef {
+			return n.Sym.Value, nil
+		}
+		if n.Index == nil {
+			return in.state.scalars[n.Sym], nil
+		}
+		idx, err := in.expr(n.Index)
+		if err != nil {
+			return 0, err
+		}
+		vec := in.vectorOf(n.Sym)
+		if idx < 0 || int(idx) >= len(vec) {
+			return 0, fmt.Errorf("interp: %v: %s[%d] out of bounds (size %d)", n.P, n.Name, idx, len(vec))
+		}
+		return vec[idx], nil
+	}
+	return 0, fmt.Errorf("interp: unknown expression %T", e)
+}
+
+// call implements the copy-in/copy-out procedure semantics. Parameter
+// bindings are saved and restored around the body so recursion works.
+func (in *interp) call(c *occam.Call) error {
+	proc := c.Sym.Proc
+	// Evaluate every argument in the caller's frame before any parameter
+	// is (re)bound.
+	type binding struct {
+		param *occam.Symbol
+		val   int32
+		vec   []int32
+		isVec bool
+	}
+	var binds []binding
+	var copyOuts []struct {
+		param *occam.Symbol
+		dest  *occam.VarRef
+	}
+	for i, arg := range c.Args {
+		param := proc.Param[i]
+		switch param.Mode {
+		case occam.ParamValue:
+			v, err := in.expr(arg)
+			if err != nil {
+				return err
+			}
+			binds = append(binds, binding{param: param.Sym, val: v})
+		case occam.ParamVar:
+			ref := arg.(*occam.VarRef)
+			binds = append(binds, binding{param: param.Sym, val: in.state.scalars[ref.Sym]})
+			copyOuts = append(copyOuts, struct {
+				param *occam.Symbol
+				dest  *occam.VarRef
+			}{param.Sym, ref})
+		case occam.ParamVec:
+			// Alias the actual vector's backing slice (transitively
+			// through vec parameters).
+			ref := arg.(*occam.VarRef)
+			binds = append(binds, binding{param: param.Sym, vec: in.resolveVector(ref.Sym), isVec: true})
+		case occam.ParamChan:
+			return fmt.Errorf("interp: %v: channel parameters are outside the reference interpreter", c.P)
+		}
+	}
+	// Install the bindings, remembering the shadowed ones.
+	type shadow struct {
+		param  *occam.Symbol
+		val    int32
+		vec    []int32
+		hadVal bool
+		hadVec bool
+		isVec  bool
+	}
+	var shadows []shadow
+	for _, b := range binds {
+		sh := shadow{param: b.param, isVec: b.isVec}
+		if b.isVec {
+			sh.vec, sh.hadVec = in.state.vectors[b.param]
+			in.state.vectors[b.param] = b.vec
+		} else {
+			sh.val, sh.hadVal = in.state.scalars[b.param]
+			in.state.scalars[b.param] = b.val
+		}
+		shadows = append(shadows, sh)
+	}
+	if err := in.process(proc.Body); err != nil {
+		return err
+	}
+	// Copy the var parameters back out, then restore the shadowed
+	// bindings for the caller's continuation (relevant under recursion).
+	outVals := make([]int32, len(copyOuts))
+	for i, co := range copyOuts {
+		outVals[i] = in.state.scalars[co.param]
+	}
+	for _, sh := range shadows {
+		if sh.isVec {
+			if sh.hadVec {
+				in.state.vectors[sh.param] = sh.vec
+			} else {
+				delete(in.state.vectors, sh.param)
+			}
+		} else {
+			if sh.hadVal {
+				in.state.scalars[sh.param] = sh.val
+			} else {
+				delete(in.state.scalars, sh.param)
+			}
+		}
+	}
+	for i, co := range copyOuts {
+		if err := in.assign(co.dest, outVals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolveVector follows vec-parameter aliases to the backing slice.
+func (in *interp) resolveVector(sym *occam.Symbol) []int32 {
+	if v, ok := in.state.vectors[sym]; ok {
+		return v
+	}
+	return in.vectorOf(sym)
+}

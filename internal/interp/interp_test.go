@@ -1,0 +1,167 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"queuemachine/internal/occam"
+)
+
+func run(t *testing.T, src string) *State {
+	t.Helper()
+	prog, err := occam.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	st, err := Run(prog)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return st
+}
+
+func vecByName(t *testing.T, st *State, name string) []int32 {
+	t.Helper()
+	v, err := st.VectorByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestBasics(t *testing.T) {
+	st := run(t, `var v[4], x, i:
+seq
+  x := 2 + 3 * 4
+  v[0] := x
+  i := 1
+  v[i] := v[0] - 10
+  if
+    v[1] = 4
+      v[2] := 1
+  while i < 3
+    seq
+      v[3] := v[3] + i
+      i := i + 1
+`)
+	got := vecByName(t, st, "v")
+	want := []int32{14, 4, 1, 3}
+	for i, w := range want {
+		if got[i] != w {
+			t.Errorf("v[%d] = %d, want %d", i, got[i], w)
+		}
+	}
+}
+
+func TestReplicatedForms(t *testing.T) {
+	st := run(t, `var v[8], sum:
+seq
+  sum := 0
+  seq k = [1 for 5]
+    sum := sum + k
+  v[0] := sum
+  par i = [0 for 8]
+    v[i] := i * i
+`)
+	got := vecByName(t, st, "v")
+	for i := 0; i < 8; i++ {
+		if got[i] != int32(i*i) {
+			t.Errorf("v[%d] = %d", i, got[i])
+		}
+	}
+}
+
+func TestProcSemantics(t *testing.T) {
+	st := run(t, `var v[2], a, b:
+proc addmul(value x, value y, var outp) =
+  outp := (x + y) * 2
+proc fill(vec d, value k) =
+  d[k] := k + 100
+seq
+  a := 3
+  addmul(a, 4, b)
+  v[0] := b
+  fill(v, 1)
+`)
+	got := vecByName(t, st, "v")
+	if got[0] != 14 || got[1] != 101 {
+		t.Errorf("v = %v", got)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	st := run(t, `var v[1], r:
+proc fact(value n, var outp) =
+  var sub:
+  if
+    n <= 1
+      outp := 1
+    n > 1
+      seq
+        fact(n - 1, sub)
+        outp := n * sub
+seq
+  fact(6, r)
+  v[0] := r
+`)
+	if got := vecByName(t, st, "v")[0]; got != 720 {
+		t.Errorf("6! = %d", got)
+	}
+}
+
+func TestVecParamAliasChain(t *testing.T) {
+	st := run(t, `var v[4]:
+proc inner(vec d) =
+  d[2] := 9
+proc outer(vec d) =
+  inner(d)
+seq
+  outer(v)
+`)
+	if got := vecByName(t, st, "v")[2]; got != 9 {
+		t.Errorf("v[2] = %d", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"var v[2]:\nv[5] := 1\n", "out of bounds"},
+		{"var v[2], x:\nx := v[9]\n", "out of bounds"},
+		{"chan c:\nc ! 1\n", "outside the reference interpreter"},
+		{"chan c:\nvar x:\nc ? x\n", "outside the reference interpreter"},
+		{"var x:\nwait now after 5\n", "outside the reference interpreter"},
+		{"var x:\nx := now\n", "outside the reference interpreter"},
+		{"var x:\nwhile 1 = 1\n  x := x + 1\n", "million"},
+	}
+	for _, c := range cases {
+		prog, err := occam.Parse(c.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.src, err)
+		}
+		_, err = Run(prog)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestVectorByNameMissing(t *testing.T) {
+	st := run(t, "var v[1]:\nv[0] := 1\n")
+	if _, err := st.VectorByName("zzz"); err == nil {
+		t.Error("missing vector resolved")
+	}
+}
+
+func TestIfNoGuardIsSkip(t *testing.T) {
+	st := run(t, `var v[1], x:
+seq
+  x := 5
+  if
+    x > 50
+      v[0] := 1
+  v[0] := v[0] + 3
+`)
+	if got := vecByName(t, st, "v")[0]; got != 3 {
+		t.Errorf("v[0] = %d", got)
+	}
+}

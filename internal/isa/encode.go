@@ -1,0 +1,190 @@
+package isa
+
+import "fmt"
+
+// Instruction word layout (basic format, Figure 5.6):
+//
+//	31..26  opcode
+//	25..20  src1
+//	19..14  src2
+//	13..9   dst1 (register number)
+//	 8..4   dst2 (register number)
+//	 3..1   QP increment (0..7)
+//	 0      continue flag
+//
+// dup format (Figure 5.7):
+//
+//	31..26  opcode
+//	25..18  dst1 queue offset (0..255)
+//	17..10  dst2 queue offset (0..255, dup2 only)
+//	 9..1   unused
+//	 0      continue flag
+//
+// A word-immediate source contributes one extension word following the
+// instruction word, src1's before src2's.
+
+const (
+	srcFieldWordImm = 0b110000
+	srcFieldImmBit  = 0b100000
+)
+
+func encodeSrc(s Src) (field uint32, ext []uint32, err error) {
+	switch s.Mode {
+	case SrcWindow:
+		if s.Reg < 0 || s.Reg >= NumWindowRegs {
+			return 0, nil, fmt.Errorf("isa: window register %d out of range", s.Reg)
+		}
+		return uint32(s.Reg), nil, nil
+	case SrcGlobal:
+		if s.Reg < NumWindowRegs || s.Reg >= NumRegs {
+			return 0, nil, fmt.Errorf("isa: global register %d out of range", s.Reg)
+		}
+		return 0b010000 | uint32(s.Reg-NumWindowRegs), nil, nil
+	case SrcSmallImm:
+		if s.Imm < -15 || s.Imm > 15 {
+			return 0, nil, fmt.Errorf("isa: small immediate %d out of range [-15,15]", s.Imm)
+		}
+		return srcFieldImmBit | (uint32(s.Imm) & 0b11111), nil, nil
+	case SrcWordImm:
+		return srcFieldWordImm, []uint32{uint32(s.Imm)}, nil
+	}
+	return 0, nil, fmt.Errorf("isa: unknown source mode %d", s.Mode)
+}
+
+func decodeSrc(field uint32, next func() (uint32, error)) (Src, error) {
+	switch {
+	case field>>4 == 0b00:
+		return Window(int(field & 0b1111)), nil
+	case field>>4 == 0b01:
+		return Global(int(field&0b1111) + NumWindowRegs), nil
+	case field == srcFieldWordImm:
+		w, err := next()
+		if err != nil {
+			return Src{}, err
+		}
+		return Src{Mode: SrcWordImm, Imm: int32(w)}, nil
+	default:
+		v := int32(field & 0b11111)
+		if v&0b10000 != 0 {
+			v -= 32
+		}
+		return Src{Mode: SrcSmallImm, Imm: v}, nil
+	}
+}
+
+// Encode serializes the instruction to one to three 32-bit words.
+func (i Instr) Encode() ([]uint32, error) {
+	info, ok := Lookup(i.Op)
+	if !ok {
+		return nil, fmt.Errorf("isa: unknown opcode %02o", uint8(i.Op))
+	}
+	if i.IsDup() {
+		if i.Dst1 < 0 || i.Dst1 >= MaxQueuePage || i.Dst2 < 0 || i.Dst2 >= MaxQueuePage {
+			return nil, fmt.Errorf("isa: dup offset out of range (%d, %d)", i.Dst1, i.Dst2)
+		}
+		w := uint32(i.Op)<<26 | uint32(i.Dst1)<<18 | uint32(i.Dst2)<<10
+		if i.Cont {
+			w |= 1
+		}
+		return []uint32{w}, nil
+	}
+	if i.QPInc < 0 || i.QPInc > 7 {
+		return nil, fmt.Errorf("isa: QP increment %d out of range [0,7]", i.QPInc)
+	}
+	if i.Dst1 < 0 || i.Dst1 >= NumRegs || i.Dst2 < 0 || i.Dst2 >= NumRegs {
+		return nil, fmt.Errorf("isa: destination register out of range (%d, %d)", i.Dst1, i.Dst2)
+	}
+	f1, ext1, err := encodeSrc(i.Src1)
+	if err != nil {
+		return nil, fmt.Errorf("isa: %v src1: %w", i.Op, err)
+	}
+	f2, ext2, err := encodeSrc(i.Src2)
+	if err != nil {
+		return nil, fmt.Errorf("isa: %v src2: %w", i.Op, err)
+	}
+	w := uint32(i.Op)<<26 | f1<<20 | f2<<14 |
+		uint32(i.Dst1)<<9 | uint32(i.Dst2)<<4 | uint32(i.QPInc)<<1
+	if i.Cont {
+		w |= 1
+	}
+	out := []uint32{w}
+	out = append(out, ext1...)
+	out = append(out, ext2...)
+	_ = info
+	return out, nil
+}
+
+// Decode deserializes one instruction starting at words[0], returning the
+// instruction and the number of words consumed.
+func Decode(words []uint32) (Instr, int, error) {
+	if len(words) == 0 {
+		return Instr{}, 0, fmt.Errorf("isa: empty instruction stream")
+	}
+	w := words[0]
+	op := Opcode(w >> 26)
+	if _, ok := Lookup(op); !ok {
+		return Instr{}, 0, fmt.Errorf("isa: unknown opcode %02o in word %08x", uint8(op), w)
+	}
+	i := Instr{Op: op, Cont: w&1 != 0}
+	if i.IsDup() {
+		i.Dst1 = int(w >> 18 & 0xff)
+		i.Dst2 = int(w >> 10 & 0xff)
+		return i, 1, nil
+	}
+	consumed := 1
+	next := func() (uint32, error) {
+		if consumed >= len(words) {
+			return 0, fmt.Errorf("isa: truncated word immediate")
+		}
+		v := words[consumed]
+		consumed++
+		return v, nil
+	}
+	var err error
+	if i.Src1, err = decodeSrc(w>>20&0b111111, next); err != nil {
+		return Instr{}, 0, err
+	}
+	if i.Src2, err = decodeSrc(w>>14&0b111111, next); err != nil {
+		return Instr{}, 0, err
+	}
+	i.Dst1 = int(w >> 9 & 0b11111)
+	i.Dst2 = int(w >> 4 & 0b11111)
+	i.QPInc = int(w >> 1 & 0b111)
+	return i, consumed, nil
+}
+
+// String renders the instruction in the thesis's assembly syntax, e.g.
+// "plus++ r0,r1 :r0,r2 >".
+func (i Instr) String() string {
+	info, ok := Lookup(i.Op)
+	if !ok {
+		return fmt.Sprintf("op%02o?", uint8(i.Op))
+	}
+	s := info.Mnemonic
+	if i.QPInc > 0 {
+		s += fmt.Sprintf("+%d", i.QPInc)
+	}
+	if i.IsDup() {
+		s += fmt.Sprintf(" :r%d", i.Dst1)
+		if i.Op == OpDup2 {
+			s += fmt.Sprintf(",r%d", i.Dst2)
+		}
+	} else {
+		if info.Srcs >= 1 {
+			s += " " + i.Src1.String()
+		}
+		if info.Srcs >= 2 {
+			s += "," + i.Src2.String()
+		}
+		if i.Dst1 != RegDummy || i.Dst2 != RegDummy {
+			s += " :" + RegName(i.Dst1)
+			if i.Dst2 != RegDummy {
+				s += "," + RegName(i.Dst2)
+			}
+		}
+	}
+	if i.Cont {
+		s += " >"
+	}
+	return s
+}

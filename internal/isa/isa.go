@@ -1,0 +1,340 @@
+// Package isa defines the queue machine processing element instruction set
+// architecture of Chapter 5: the 32-bit four-address instruction format
+// (two source specifiers, two destination specifiers, a queue-pointer
+// increment and a continue flag), the special dup instruction format, the
+// register set with its sliding window, and the opcode assignments of
+// Table 5.2.
+//
+// Three opcodes beyond the thesis's table — mul, div and rem — occupy the
+// reserved slots of the arithmetic class ("there is room for adding
+// multiplication and division if needed"); the compiled benchmark programs
+// require them.
+package isa
+
+import "fmt"
+
+// Opcode is the 6-bit operation code (two octal digits in the thesis).
+type Opcode uint8
+
+// Opcode assignments per Table 5.2. The first octal digit selects the
+// class: 0 duplicate, 1 memory/channel, 2 logical, 3 arithmetic, 4 signed
+// comparison, 5 unsigned comparison, 6 branch, 7 trap.
+const (
+	OpDup1 Opcode = 0o00
+	OpDup2 Opcode = 0o04
+
+	OpSend  Opcode = 0o10
+	OpStore Opcode = 0o11
+	OpStorb Opcode = 0o13
+	OpRecv  Opcode = 0o14
+	OpFetch Opcode = 0o15
+	OpFchb  Opcode = 0o17
+
+	OpOr     Opcode = 0o20
+	OpAnd    Opcode = 0o21
+	OpXor    Opcode = 0o22
+	OpLshift Opcode = 0o23
+	OpRshift Opcode = 0o24
+
+	OpPlus  Opcode = 0o30
+	OpMinus Opcode = 0o31
+	OpMul   Opcode = 0o32
+	OpDiv   Opcode = 0o33
+	OpRem   Opcode = 0o34
+
+	OpGe Opcode = 0o41
+	OpNe Opcode = 0o42
+	OpGt Opcode = 0o43
+	OpLt Opcode = 0o45
+	OpEq Opcode = 0o46
+	OpLe Opcode = 0o47
+
+	OpHis Opcode = 0o50
+	OpHi  Opcode = 0o52
+	OpLo  Opcode = 0o54
+	OpLos Opcode = 0o56
+
+	OpBne Opcode = 0o62 // branch if true
+	OpBeq Opcode = 0o66 // branch if false
+
+	OpFtrap Opcode = 0o70
+	OpTrap  Opcode = 0o71
+	OpFret  Opcode = 0o74
+	OpRett  Opcode = 0o75
+)
+
+// Register numbers. R0–R15 are the virtual window registers addressing the
+// first sixteen elements of the operand queue; R16–R31 are global. R16 is
+// the result-discarding DUMMY register; R26 and R27 hold the executing
+// context's in and out channel identifiers (a software convention of the
+// multiprocessing kernel, carved out of the thesis's general-purpose bank);
+// R28–R31 are the NAK address register, page offset mask, queue pointer and
+// program counter.
+const (
+	RegWindow0 = 0
+	RegDummy   = 16
+	RegGP0     = 17 // first general-purpose register
+	RegCIn     = 26
+	RegCOut    = 27
+	RegNAR     = 28
+	RegPOM     = 29
+	RegQP      = 30
+	RegPC      = 31
+
+	NumWindowRegs = 16
+	NumRegs       = 32
+
+	// MaxQueuePage is the maximum operand queue page size in words; dup
+	// destination offsets address 0..MaxQueuePage-1.
+	MaxQueuePage = 256
+
+	// WordSize is the machine word size in bytes.
+	WordSize = 4
+)
+
+// RegName returns the assembly name of a register: r0..r31, with the
+// special registers also recognized by symbolic names in the assembler.
+func RegName(r int) string {
+	switch r {
+	case RegDummy:
+		return "dummy"
+	case RegCIn:
+		return "cin"
+	case RegCOut:
+		return "cout"
+	case RegNAR:
+		return "nar"
+	case RegPOM:
+		return "pom"
+	case RegQP:
+		return "qp"
+	case RegPC:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// SrcMode is the interpretation of a 6-bit source operand field (Table 5.1).
+type SrcMode uint8
+
+const (
+	// SrcWindow selects window register 0–15.
+	SrcWindow SrcMode = iota
+	// SrcGlobal selects global register 16–31.
+	SrcGlobal
+	// SrcSmallImm is a 5-bit two's-complement immediate in -15..15.
+	SrcSmallImm
+	// SrcWordImm is a full-word immediate stored after the instruction.
+	SrcWordImm
+)
+
+// Src is a decoded source operand specifier.
+type Src struct {
+	Mode SrcMode
+	Reg  int   // register number for SrcWindow/SrcGlobal
+	Imm  int32 // immediate value for SrcSmallImm/SrcWordImm
+}
+
+// Window, Global, Imm and Reg are Src constructors.
+func Window(n int) Src { return Src{Mode: SrcWindow, Reg: n} }
+func Global(n int) Src { return Src{Mode: SrcGlobal, Reg: n} }
+
+// Reg builds a register source from any register number 0–31.
+func Reg(n int) Src {
+	if n < NumWindowRegs {
+		return Window(n)
+	}
+	return Global(n)
+}
+
+// Imm builds an immediate source, choosing the small form when it fits.
+func Imm(v int32) Src {
+	if v >= -15 && v <= 15 {
+		return Src{Mode: SrcSmallImm, Imm: v}
+	}
+	return Src{Mode: SrcWordImm, Imm: v}
+}
+
+func (s Src) String() string {
+	switch s.Mode {
+	case SrcWindow:
+		return RegName(s.Reg)
+	case SrcGlobal:
+		return RegName(s.Reg)
+	default:
+		return fmt.Sprintf("#%d", s.Imm)
+	}
+}
+
+// Instr is a decoded instruction. For basic-format instructions Dst1 and
+// Dst2 are register numbers (RegDummy when unused); for dup instructions
+// they are queue offsets 0..255 (Dst2 meaningful only for dup2).
+type Instr struct {
+	Op         Opcode
+	Src1, Src2 Src
+	Dst1, Dst2 int
+	QPInc      int
+	Cont       bool
+}
+
+// IsDup reports whether the instruction uses the dup format of Figure 5.7.
+func (i Instr) IsDup() bool { return i.Op == OpDup1 || i.Op == OpDup2 }
+
+// Words reports how many 32-bit words the instruction occupies once
+// encoded: one, plus one per word immediate.
+func (i Instr) Words() int {
+	w := 1
+	if !i.IsDup() {
+		if i.Src1.Mode == SrcWordImm {
+			w++
+		}
+		if i.Src2.Mode == SrcWordImm {
+			w++
+		}
+	}
+	return w
+}
+
+// Info describes the static properties of an opcode.
+type Info struct {
+	Mnemonic  string
+	Srcs      int  // number of source operands used
+	HasResult bool // writes Dst1/Dst2 register destinations
+	Compare   bool
+	Unsigned  bool // unsigned comparison class
+	Branch    bool
+	Memory    bool // fetch/store class (word or byte)
+	Channel   bool // send/recv
+	Trap      bool
+}
+
+var infoTable = map[Opcode]Info{
+	OpDup1:   {Mnemonic: "dup1"},
+	OpDup2:   {Mnemonic: "dup2"},
+	OpSend:   {Mnemonic: "send", Srcs: 2, Channel: true},
+	OpStore:  {Mnemonic: "store", Srcs: 2, Memory: true},
+	OpStorb:  {Mnemonic: "storb", Srcs: 2, Memory: true},
+	OpRecv:   {Mnemonic: "recv", Srcs: 1, HasResult: true, Channel: true},
+	OpFetch:  {Mnemonic: "fetch", Srcs: 1, HasResult: true, Memory: true},
+	OpFchb:   {Mnemonic: "fchb", Srcs: 1, HasResult: true, Memory: true},
+	OpOr:     {Mnemonic: "or", Srcs: 2, HasResult: true},
+	OpAnd:    {Mnemonic: "and", Srcs: 2, HasResult: true},
+	OpXor:    {Mnemonic: "xor", Srcs: 2, HasResult: true},
+	OpLshift: {Mnemonic: "lshift", Srcs: 2, HasResult: true},
+	OpRshift: {Mnemonic: "rshift", Srcs: 2, HasResult: true},
+	OpPlus:   {Mnemonic: "plus", Srcs: 2, HasResult: true},
+	OpMinus:  {Mnemonic: "minus", Srcs: 2, HasResult: true},
+	OpMul:    {Mnemonic: "mul", Srcs: 2, HasResult: true},
+	OpDiv:    {Mnemonic: "div", Srcs: 2, HasResult: true},
+	OpRem:    {Mnemonic: "rem", Srcs: 2, HasResult: true},
+	OpGe:     {Mnemonic: "ge", Srcs: 2, HasResult: true, Compare: true},
+	OpNe:     {Mnemonic: "ne", Srcs: 2, HasResult: true, Compare: true},
+	OpGt:     {Mnemonic: "gt", Srcs: 2, HasResult: true, Compare: true},
+	OpLt:     {Mnemonic: "lt", Srcs: 2, HasResult: true, Compare: true},
+	OpEq:     {Mnemonic: "eq", Srcs: 2, HasResult: true, Compare: true},
+	OpLe:     {Mnemonic: "le", Srcs: 2, HasResult: true, Compare: true},
+	OpHis:    {Mnemonic: "his", Srcs: 2, HasResult: true, Compare: true, Unsigned: true},
+	OpHi:     {Mnemonic: "hi", Srcs: 2, HasResult: true, Compare: true, Unsigned: true},
+	OpLo:     {Mnemonic: "lo", Srcs: 2, HasResult: true, Compare: true, Unsigned: true},
+	OpLos:    {Mnemonic: "los", Srcs: 2, HasResult: true, Compare: true, Unsigned: true},
+	OpBne:    {Mnemonic: "bne", Srcs: 2, Branch: true},
+	OpBeq:    {Mnemonic: "beq", Srcs: 2, Branch: true},
+	OpFtrap:  {Mnemonic: "ftrap", Srcs: 2, HasResult: true, Trap: true},
+	OpTrap:   {Mnemonic: "trap", Srcs: 2, HasResult: true, Trap: true},
+	OpFret:   {Mnemonic: "fret", Trap: true},
+	OpRett:   {Mnemonic: "rett", Trap: true},
+}
+
+// Lookup returns the static description of an opcode.
+func Lookup(op Opcode) (Info, bool) {
+	in, ok := infoTable[op]
+	return in, ok
+}
+
+// ByMnemonic resolves an assembly mnemonic to its opcode.
+func ByMnemonic(m string) (Opcode, bool) {
+	op, ok := mnemonicTable[m]
+	return op, ok
+}
+
+var mnemonicTable = func() map[string]Opcode {
+	t := make(map[string]Opcode, len(infoTable))
+	for op, in := range infoTable {
+		t[in.Mnemonic] = op
+	}
+	return t
+}()
+
+func (op Opcode) String() string {
+	if in, ok := infoTable[op]; ok {
+		return in.Mnemonic
+	}
+	return fmt.Sprintf("op%02o", uint8(op))
+}
+
+// Bool encodes a machine Boolean: all ones for true, all zeros for false.
+func Bool(b bool) int32 {
+	if b {
+		return -1
+	}
+	return 0
+}
+
+// Truthy decodes a machine Boolean; any nonzero word is taken as true.
+func Truthy(v int32) bool { return v != 0 }
+
+// EvalALU computes the result of a logical, arithmetic or comparison
+// opcode. Division and remainder by zero report an error (the hardware
+// would raise a trap).
+func EvalALU(op Opcode, a, b int32) (int32, error) {
+	switch op {
+	case OpOr:
+		return a | b, nil
+	case OpAnd:
+		return a & b, nil
+	case OpXor:
+		return a ^ b, nil
+	case OpLshift:
+		return a << (uint32(b) & 31), nil
+	case OpRshift:
+		return a >> (uint32(b) & 31), nil // arithmetic shift with sign extension
+	case OpPlus:
+		return a + b, nil
+	case OpMinus:
+		return a - b, nil
+	case OpMul:
+		return a * b, nil
+	case OpDiv:
+		if b == 0 {
+			return 0, fmt.Errorf("isa: division by zero")
+		}
+		return a / b, nil
+	case OpRem:
+		if b == 0 {
+			return 0, fmt.Errorf("isa: remainder by zero")
+		}
+		return a % b, nil
+	case OpGe:
+		return Bool(a >= b), nil
+	case OpNe:
+		return Bool(a != b), nil
+	case OpGt:
+		return Bool(a > b), nil
+	case OpLt:
+		return Bool(a < b), nil
+	case OpEq:
+		return Bool(a == b), nil
+	case OpLe:
+		return Bool(a <= b), nil
+	case OpHis:
+		return Bool(uint32(a) >= uint32(b)), nil
+	case OpHi:
+		return Bool(uint32(a) > uint32(b)), nil
+	case OpLo:
+		return Bool(uint32(a) < uint32(b)), nil
+	case OpLos:
+		return Bool(uint32(a) <= uint32(b)), nil
+	}
+	return 0, fmt.Errorf("isa: opcode %v is not an ALU operation", op)
+}

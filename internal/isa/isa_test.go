@@ -1,0 +1,345 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeClasses(t *testing.T) {
+	// First octal digit selects the class (Table 5.2).
+	classes := map[Opcode]uint8{
+		OpDup1: 0, OpDup2: 0,
+		OpSend: 1, OpStore: 1, OpStorb: 1, OpRecv: 1, OpFetch: 1, OpFchb: 1,
+		OpOr: 2, OpAnd: 2, OpXor: 2, OpLshift: 2, OpRshift: 2,
+		OpPlus: 3, OpMinus: 3, OpMul: 3, OpDiv: 3, OpRem: 3,
+		OpGe: 4, OpNe: 4, OpGt: 4, OpLt: 4, OpEq: 4, OpLe: 4,
+		OpHis: 5, OpHi: 5, OpLo: 5, OpLos: 5,
+		OpBne: 6, OpBeq: 6,
+		OpFtrap: 7, OpTrap: 7, OpFret: 7, OpRett: 7,
+	}
+	for op, class := range classes {
+		if uint8(op)>>3 != class {
+			t.Errorf("%v = %02o: class %d, want %d", op, uint8(op), uint8(op)>>3, class)
+		}
+	}
+}
+
+func TestThesisOpcodeValues(t *testing.T) {
+	// Exact octal values from Table 5.2.
+	want := map[Opcode]uint8{
+		OpDup1: 0o00, OpDup2: 0o04, OpSend: 0o10, OpStore: 0o11,
+		OpStorb: 0o13, OpRecv: 0o14, OpFetch: 0o15, OpFchb: 0o17,
+		OpOr: 0o20, OpAnd: 0o21, OpXor: 0o22, OpLshift: 0o23, OpRshift: 0o24,
+		OpPlus: 0o30, OpMinus: 0o31,
+		OpGe: 0o41, OpNe: 0o42, OpGt: 0o43, OpLt: 0o45, OpEq: 0o46, OpLe: 0o47,
+		OpHis: 0o50, OpHi: 0o52, OpLo: 0o54, OpLos: 0o56,
+		OpBne: 0o62, OpBeq: 0o66,
+		OpFtrap: 0o70, OpTrap: 0o71, OpFret: 0o74, OpRett: 0o75,
+	}
+	for op, v := range want {
+		if uint8(op) != v {
+			t.Errorf("%v = %02o, want %02o", op, uint8(op), v)
+		}
+	}
+}
+
+func TestMnemonicRoundTrip(t *testing.T) {
+	for op := Opcode(0); op < 64; op++ {
+		info, ok := Lookup(op)
+		if !ok {
+			continue
+		}
+		got, ok := ByMnemonic(info.Mnemonic)
+		if !ok || got != op {
+			t.Errorf("ByMnemonic(%q) = %v, %v", info.Mnemonic, got, ok)
+		}
+		if op.String() != info.Mnemonic {
+			t.Errorf("String(%v) = %q", op, op.String())
+		}
+	}
+	if _, ok := ByMnemonic("nosuch"); ok {
+		t.Error("unknown mnemonic resolved")
+	}
+	if got := Opcode(0o77).String(); !strings.Contains(got, "77") {
+		t.Errorf("unknown opcode String = %q", got)
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	cases := map[int]string{
+		0: "r0", 15: "r15", 16: "dummy", 17: "r17",
+		26: "cin", 27: "cout", 28: "nar", 29: "pom", 30: "qp", 31: "pc",
+	}
+	for r, want := range cases {
+		if got := RegName(r); got != want {
+			t.Errorf("RegName(%d) = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestSrcConstructors(t *testing.T) {
+	if s := Imm(7); s.Mode != SrcSmallImm || s.Imm != 7 {
+		t.Errorf("Imm(7) = %+v", s)
+	}
+	if s := Imm(-15); s.Mode != SrcSmallImm {
+		t.Errorf("Imm(-15) = %+v", s)
+	}
+	if s := Imm(16); s.Mode != SrcWordImm {
+		t.Errorf("Imm(16) = %+v", s)
+	}
+	if s := Imm(-16); s.Mode != SrcWordImm {
+		t.Errorf("Imm(-16) = %+v", s)
+	}
+	if s := Reg(3); s.Mode != SrcWindow {
+		t.Errorf("Reg(3) = %+v", s)
+	}
+	if s := Reg(30); s.Mode != SrcGlobal || s.Reg != 30 {
+		t.Errorf("Reg(30) = %+v", s)
+	}
+}
+
+func TestEncodeDecodeExample(t *testing.T) {
+	// The §5.3.4 example: plus++ r0,r1 :r0,r2 >  /  dup1 :r30
+	plus := Instr{Op: OpPlus, Src1: Window(0), Src2: Window(1), Dst1: 0, Dst2: 2, QPInc: 2, Cont: true}
+	dup := Instr{Op: OpDup1, Dst1: 30, Dst2: 0}
+	for _, in := range []Instr{plus, dup} {
+		words, err := in.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		if len(words) != 1 {
+			t.Errorf("%v encodes to %d words", in, len(words))
+		}
+		back, n, err := Decode(words)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if n != 1 || !reflect.DeepEqual(back, in) {
+			t.Errorf("round trip: %+v -> %+v", in, back)
+		}
+	}
+	if got := plus.String(); got != "plus+2 r0,r1 :r0,r2 >" {
+		t.Errorf("String = %q", got)
+	}
+	if got := dup.String(); got != "dup1 :r30" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestWordImmediateEncoding(t *testing.T) {
+	in := Instr{Op: OpPlus, Src1: Imm(1000), Src2: Imm(-2000), Dst1: 5, Dst2: RegDummy, QPInc: 0}
+	words, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != 3 {
+		t.Fatalf("encoded to %d words, want 3", len(words))
+	}
+	if in.Words() != 3 {
+		t.Errorf("Words() = %d", in.Words())
+	}
+	back, n, err := Decode(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || !reflect.DeepEqual(back, in) {
+		t.Errorf("round trip: %+v -> %+v (n=%d)", in, back, n)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Unknown opcode 0o77.
+	if _, _, err := Decode([]uint32{uint32(0o77) << 26}); err == nil {
+		t.Error("unknown opcode accepted")
+	}
+	// Truncated word immediate.
+	in := Instr{Op: OpPlus, Src1: Imm(1000), Src2: Window(0), Dst1: RegDummy, Dst2: RegDummy}
+	words, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decode(words[:1]); err == nil {
+		t.Error("truncated immediate accepted")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	bad := []Instr{
+		{Op: Opcode(0o77)},
+		{Op: OpPlus, Src1: Src{Mode: SrcWindow, Reg: 16}, Dst1: RegDummy, Dst2: RegDummy},
+		{Op: OpPlus, Src1: Src{Mode: SrcGlobal, Reg: 5}, Dst1: RegDummy, Dst2: RegDummy},
+		{Op: OpPlus, Src1: Src{Mode: SrcSmallImm, Imm: 99}, Dst1: RegDummy, Dst2: RegDummy},
+		{Op: OpPlus, Src1: Window(0), Src2: Window(0), QPInc: 9, Dst1: RegDummy, Dst2: RegDummy},
+		{Op: OpPlus, Src1: Window(0), Src2: Window(0), Dst1: 40, Dst2: RegDummy},
+		{Op: OpDup1, Dst1: 300},
+	}
+	for i, in := range bad {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("case %d: bad instruction %+v encoded", i, in)
+		}
+	}
+}
+
+// TestEncodeDecodeQuick is the assembler-level identity property: every
+// well-formed instruction round-trips through Encode/Decode.
+func TestEncodeDecodeQuick(t *testing.T) {
+	ops := make([]Opcode, 0, len(mnemonicTable))
+	for _, op := range mnemonicTable {
+		ops = append(ops, op)
+	}
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		op := ops[rng.Intn(len(ops))]
+		in := Instr{Op: op}
+		if in.IsDup() {
+			in.Dst1 = rng.Intn(MaxQueuePage)
+			in.Dst2 = rng.Intn(MaxQueuePage)
+		} else {
+			mk := func() Src {
+				switch rng.Intn(4) {
+				case 0:
+					return Window(rng.Intn(NumWindowRegs))
+				case 1:
+					return Global(NumWindowRegs + rng.Intn(NumWindowRegs))
+				case 2:
+					return Src{Mode: SrcSmallImm, Imm: int32(rng.Intn(31) - 15)}
+				default:
+					return Src{Mode: SrcWordImm, Imm: int32(rng.Uint32())}
+				}
+			}
+			in.Src1, in.Src2 = mk(), mk()
+			in.Dst1 = rng.Intn(NumRegs)
+			in.Dst2 = rng.Intn(NumRegs)
+			in.QPInc = rng.Intn(8)
+		}
+		in.Cont = rng.Intn(2) == 0
+		words, err := in.Encode()
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", in, err)
+		}
+		back, n, err := Decode(words)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", words, err)
+		}
+		return n == len(words) && reflect.DeepEqual(back, in)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalALU(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b int32
+		want int32
+	}{
+		{OpPlus, 2, 3, 5},
+		{OpMinus, 2, 3, -1},
+		{OpMul, -4, 3, -12},
+		{OpDiv, 7, 2, 3},
+		{OpRem, 7, 2, 1},
+		{OpOr, 0b1010, 0b0110, 0b1110},
+		{OpAnd, 0b1010, 0b0110, 0b0010},
+		{OpXor, 0b1010, 0b0110, 0b1100},
+		{OpLshift, 1, 4, 16},
+		{OpRshift, -16, 2, -4}, // arithmetic shift, sign extended
+		{OpGe, 3, 3, -1},
+		{OpNe, 3, 3, 0},
+		{OpGt, 4, 3, -1},
+		{OpLt, 4, 3, 0},
+		{OpEq, 5, 5, -1},
+		{OpLe, 5, 6, -1},
+		{OpHis, -1, 1, -1}, // unsigned: 0xffffffff >= 1
+		{OpHi, -1, 1, -1},
+		{OpLo, 1, -1, -1},
+		{OpLos, 1, 1, -1},
+	}
+	for _, c := range cases {
+		got, err := EvalALU(c.op, c.a, c.b)
+		if err != nil {
+			t.Errorf("EvalALU(%v, %d, %d): %v", c.op, c.a, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("EvalALU(%v, %d, %d) = %d, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+	if _, err := EvalALU(OpDiv, 1, 0); err == nil {
+		t.Error("division by zero accepted")
+	}
+	if _, err := EvalALU(OpRem, 1, 0); err == nil {
+		t.Error("remainder by zero accepted")
+	}
+	if _, err := EvalALU(OpSend, 1, 2); err == nil {
+		t.Error("non-ALU opcode accepted")
+	}
+}
+
+func TestBoolConventions(t *testing.T) {
+	if Bool(true) != -1 || Bool(false) != 0 {
+		t.Error("Bool encoding wrong")
+	}
+	if !Truthy(-1) || !Truthy(5) || Truthy(0) {
+		t.Error("Truthy wrong")
+	}
+}
+
+func TestObjectValidate(t *testing.T) {
+	plus := Instr{Op: OpPlus, Src1: Window(0), Src2: Window(1), Dst1: 0, Dst2: RegDummy, QPInc: 2}
+	words, err := plus.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := &Object{
+		Graphs:    []GraphCode{{Name: "main", Code: words, QueueWords: 64}},
+		DataWords: 4,
+		DataInit:  map[int]int32{0: 42},
+	}
+	if err := obj.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if i, err := obj.GraphIndex("main"); err != nil || i != 0 {
+		t.Errorf("GraphIndex = %d, %v", i, err)
+	}
+	if _, err := obj.GraphIndex("nope"); err == nil {
+		t.Error("missing graph resolved")
+	}
+
+	bad := *obj
+	bad.Graphs = []GraphCode{{Name: "m", Code: words, QueueWords: 48}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-power-of-two queue accepted")
+	}
+	bad = *obj
+	bad.Entry = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("bad entry accepted")
+	}
+	bad = *obj
+	bad.DataInit = map[int]int32{100: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-segment init accepted")
+	}
+	if err := (&Object{}).Validate(); err == nil {
+		t.Error("empty object accepted")
+	}
+
+	// Branch out of range.
+	br := Instr{Op: OpBne, Src1: Window(0), Src2: Imm(100), Dst1: RegDummy, Dst2: RegDummy}
+	bw, err := br.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad = *obj
+	bad.Graphs = []GraphCode{{Name: "m", Code: bw, QueueWords: 32}}
+	if err := bad.Validate(); err == nil {
+		t.Error("wild branch accepted")
+	}
+}

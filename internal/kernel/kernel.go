@@ -1,0 +1,195 @@
+// Package kernel implements the queue machine multiprocessing kernel of
+// §6.2: the context table and context state machine (Figure 6.4), queue
+// page allocation, channel identifier allocation, the kernel entry points
+// of Table 6.1 (context creation via rfork/ifork, termination, channel
+// allocation, real-time services), and the context placement policy that
+// distributes freshly forked contexts across processing elements.
+//
+// The kernel's code runs on the processing elements themselves (entered by
+// trap instructions); the simulator charges its cost at the trap site and
+// uses this package for the bookkeeping.
+package kernel
+
+import (
+	"fmt"
+
+	"queuemachine/internal/pe"
+)
+
+// Stats aggregates kernel activity for the Chapter 6 statistics tables.
+type Stats struct {
+	ContextsCreated  int64
+	ContextsFinished int64
+	RForks           int64
+	IForks           int64
+	ChannelsCreated  int64
+	Migrations       int64 // contexts placed on a PE other than their parent's
+}
+
+// Kernel is the multiprocessing kernel state.
+type Kernel struct {
+	numPEs   int
+	nextCtx  int
+	nextChan int32
+	contexts map[int]*pe.Context
+	home     map[int]int // context id -> hosting PE
+	ready    [][]int     // per-PE FIFO of ready context ids
+	resident []int       // per-PE count of live contexts
+	live     int
+	Stats    Stats
+}
+
+// New builds a kernel for a system with the given number of processing
+// elements. Channel identifiers start above zero so that 0 can serve as a
+// null channel.
+func New(numPEs int) *Kernel {
+	return &Kernel{
+		numPEs:   numPEs,
+		contexts: make(map[int]*pe.Context),
+		home:     make(map[int]int),
+		ready:    make([][]int, numPEs),
+		resident: make([]int, numPEs),
+		nextChan: 1,
+	}
+}
+
+// AllocChannel returns a fresh channel identifier.
+func (k *Kernel) AllocChannel() int32 {
+	ch := k.nextChan
+	k.nextChan++
+	k.Stats.ChannelsCreated++
+	return ch
+}
+
+// PlacementSlack tunes the placement policy: a new context stays on its
+// parent's processing element unless that element hosts more than
+// PlacementSlack contexts beyond the least-loaded one. Zero is pure
+// least-loaded placement.
+var PlacementSlack = 0
+
+// Place chooses the processing element for a new context: the least-loaded
+// one (ties broken by lowest identifier), except that the parent's element
+// wins when its load is within PlacementSlack of the minimum — keeping the
+// splice protocol local where the load balance allows.
+func (k *Kernel) Place(parentPE int) int {
+	best := 0
+	for p := 1; p < k.numPEs; p++ {
+		if k.resident[p] < k.resident[best] {
+			best = p
+		}
+	}
+	if PlacementSlack > 0 && parentPE >= 0 && parentPE < k.numPEs &&
+		k.resident[parentPE] <= k.resident[best]+PlacementSlack {
+		return parentPE
+	}
+	return best
+}
+
+// CreateContext allocates a context for the given graph, assigns it to a
+// processing element chosen by Place, marks it ready, and returns it with
+// its hosting PE. The caller sets the channel registers.
+func (k *Kernel) CreateContext(graph, pageWords, parentID, parentPE int) (*pe.Context, int) {
+	id := k.nextCtx
+	k.nextCtx++
+	c := pe.NewContext(id, graph, pageWords)
+	c.Parent = parentID
+	target := k.Place(parentPE)
+	k.contexts[id] = c
+	k.home[id] = target
+	k.resident[target]++
+	k.live++
+	k.Stats.ContextsCreated++
+	if target != parentPE {
+		k.Stats.Migrations++
+	}
+	k.ready[target] = append(k.ready[target], id)
+	return c, target
+}
+
+// Context returns a live context by identifier.
+func (k *Kernel) Context(id int) (*pe.Context, error) {
+	c, ok := k.contexts[id]
+	if !ok {
+		return nil, fmt.Errorf("kernel: no context %d", id)
+	}
+	return c, nil
+}
+
+// Home reports the processing element hosting a context.
+func (k *Kernel) Home(id int) (int, error) {
+	p, ok := k.home[id]
+	if !ok {
+		return 0, fmt.Errorf("kernel: no context %d", id)
+	}
+	return p, nil
+}
+
+// Ready marks a blocked context runnable, appending it to its processing
+// element's ready queue. The context must not already be queued or running.
+func (k *Kernel) Ready(id int) error {
+	c, ok := k.contexts[id]
+	if !ok {
+		return fmt.Errorf("kernel: ready on unknown context %d", id)
+	}
+	if c.Status == pe.Ready || c.Status == pe.Done {
+		return fmt.Errorf("kernel: context %d cannot become ready from %v", id, c.Status)
+	}
+	c.Status = pe.Ready
+	p := k.home[id]
+	k.ready[p] = append(k.ready[p], id)
+	return nil
+}
+
+// NextReady pops the next runnable context for a processing element,
+// returning nil when its ready queue is empty.
+func (k *Kernel) NextReady(peID int) *pe.Context {
+	q := k.ready[peID]
+	if len(q) == 0 {
+		return nil
+	}
+	id := q[0]
+	k.ready[peID] = q[1:]
+	c := k.contexts[id]
+	c.Status = pe.Running
+	return c
+}
+
+// ReadyCount reports the length of a processing element's ready queue.
+func (k *Kernel) ReadyCount(peID int) int { return len(k.ready[peID]) }
+
+// Resident reports how many live contexts a processing element hosts.
+func (k *Kernel) Resident(peID int) int { return k.resident[peID] }
+
+// Exit terminates a context (the KExit entry point), releasing its queue
+// page and removing it from its processing element.
+func (k *Kernel) Exit(id int) error {
+	c, ok := k.contexts[id]
+	if !ok {
+		return fmt.Errorf("kernel: exit of unknown context %d", id)
+	}
+	c.Status = pe.Done
+	p := k.home[id]
+	k.resident[p]--
+	k.live--
+	k.Stats.ContextsFinished++
+	delete(k.contexts, id)
+	delete(k.home, id)
+	return nil
+}
+
+// Live reports the number of live contexts in the system.
+func (k *Kernel) Live() int { return k.live }
+
+// Snapshot lists the live contexts and their states, for deadlock reports.
+func (k *Kernel) Snapshot() []string {
+	var out []string
+	for id := 0; id < k.nextCtx; id++ {
+		c, ok := k.contexts[id]
+		if !ok {
+			continue
+		}
+		out = append(out, fmt.Sprintf("context %d: graph %d pc %d %v on pe %d (parent %d)",
+			id, c.Graph, c.PC, c.Status, k.home[id], c.Parent))
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+// Package mcache implements the dedicated message-handling hardware of
+// §5.5: a message processor's channel cache. Each cache entry tracks the
+// rendezvous state of one channel — empty, sender waiting (value present),
+// or receiver waiting — and the send, receive and fetch-and-φ operations
+// drive the state transitions of Tables 5.3, 5.4 and 6.7.
+//
+// The cache has a finite number of entries. Entries holding a blocked party
+// are evicted to backing memory (at a cost) when the cache overflows, and
+// reloaded on the next access; entries in the empty state are dropped for
+// free. The finite per-processor cache is one of the mechanisms behind the
+// multiprocessor's super-linear speed-up: aggregate cache capacity grows
+// with the number of processing elements, so channel operations miss less.
+package mcache
+
+import "fmt"
+
+// ContextRef identifies a blocked context: the processing element hosting
+// it and its context identifier.
+type ContextRef struct {
+	PE  int
+	Ctx int
+}
+
+// State is the externally visible state of a channel entry.
+type State int
+
+const (
+	// Empty: no operation pending on the channel.
+	Empty State = iota
+	// SenderWait: one or more senders are blocked with their values.
+	SenderWait
+	// ReceiverWait: one or more receivers are blocked.
+	ReceiverWait
+	// ValueCell: the entry is used as a fetch-and-φ synchronization word
+	// rather than a rendezvous channel.
+	ValueCell
+)
+
+func (s State) String() string {
+	switch s {
+	case Empty:
+		return "empty"
+	case SenderWait:
+		return "sender-wait"
+	case ReceiverWait:
+		return "receiver-wait"
+	case ValueCell:
+		return "value-cell"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+type waitingSend struct {
+	val    int32
+	sender ContextRef
+}
+
+type entry struct {
+	channel   int32
+	senders   []waitingSend // FIFO of blocked senders with their values
+	receivers []ContextRef  // FIFO of blocked receivers
+	cellValue int32         // fetch-and-φ storage
+	isCell    bool
+	lastUse   uint64
+}
+
+func (e *entry) state() State {
+	switch {
+	case e.isCell:
+		return ValueCell
+	case len(e.senders) > 0:
+		return SenderWait
+	case len(e.receivers) > 0:
+		return ReceiverWait
+	default:
+		return Empty
+	}
+}
+
+// Stats counts cache behaviour for the Chapter 6 statistics tables.
+type Stats struct {
+	Sends      int64
+	Receives   int64
+	FetchPhis  int64
+	Hits       int64
+	Misses     int64 // entry reloaded from backing memory
+	Evictions  int64 // occupied entry written back to memory
+	Rendezvous int64 // completed send/receive pairs
+}
+
+// Cache is one message processor's channel cache.
+type Cache struct {
+	capacity int
+	entries  map[int32]*entry
+	backing  map[int32]*entry
+	clock    uint64
+	Stats    Stats
+}
+
+// New builds a cache with the given number of entries (at least one).
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[int32]*entry),
+		backing:  make(map[int32]*entry),
+	}
+}
+
+// lookup finds or creates the entry for a channel, charging a miss when it
+// must be reloaded from (or first created in) backing memory, and evicting
+// the least recently used occupied entry on overflow. It reports whether
+// the access missed the cache.
+func (c *Cache) lookup(ch int32) (*entry, bool) {
+	c.clock++
+	if e, ok := c.entries[ch]; ok {
+		e.lastUse = c.clock
+		c.Stats.Hits++
+		return e, false
+	}
+	c.Stats.Misses++
+	e, ok := c.backing[ch]
+	if ok {
+		delete(c.backing, ch)
+	} else {
+		e = &entry{channel: ch}
+	}
+	e.lastUse = c.clock
+	c.install(e)
+	return e, true
+}
+
+func (c *Cache) install(e *entry) {
+	if len(c.entries) >= c.capacity {
+		c.evictOne()
+	}
+	c.entries[e.channel] = e
+}
+
+// evictOne removes the least recently used entry, preferring free (empty)
+// entries; occupied entries are written back to memory at eviction cost.
+// Recency stamps are unique, so the choice is deterministic.
+func (c *Cache) evictOne() {
+	var victim *entry
+	victimEmpty := false
+	for _, e := range c.entries {
+		isEmpty := e.state() == Empty
+		switch {
+		case victim == nil:
+			victim, victimEmpty = e, isEmpty
+		case isEmpty != victimEmpty:
+			if isEmpty {
+				victim, victimEmpty = e, true
+			}
+		case e.lastUse < victim.lastUse:
+			victim = e
+		}
+	}
+	if victim == nil {
+		return
+	}
+	delete(c.entries, victim.channel)
+	if victim.state() != Empty {
+		c.Stats.Evictions++
+		c.backing[victim.channel] = victim
+	}
+}
+
+// Completion describes a finished rendezvous: the two parties to unblock
+// and the transferred value.
+type Completion struct {
+	Value    int32
+	Sender   ContextRef
+	Receiver ContextRef
+}
+
+// Send performs the message-cache send transition: if a receiver is
+// waiting, the rendezvous completes; otherwise the sender blocks with its
+// value. The boolean reports whether the access missed the cache.
+func (c *Cache) Send(ch, val int32, sender ContextRef) (done *Completion, missed bool, err error) {
+	c.Stats.Sends++
+	e, missed := c.lookup(ch)
+	if e.isCell {
+		return nil, missed, fmt.Errorf("mcache: channel %d is a fetch-and-φ cell", ch)
+	}
+	if len(e.receivers) > 0 {
+		r := e.receivers[0]
+		e.receivers = e.receivers[1:]
+		c.Stats.Rendezvous++
+		return &Completion{Value: val, Sender: sender, Receiver: r}, missed, nil
+	}
+	e.senders = append(e.senders, waitingSend{val: val, sender: sender})
+	return nil, missed, nil
+}
+
+// Recv performs the message-cache receive transition: if a sender is
+// waiting, the rendezvous completes; otherwise the receiver blocks.
+func (c *Cache) Recv(ch int32, receiver ContextRef) (done *Completion, missed bool, err error) {
+	c.Stats.Receives++
+	e, missed := c.lookup(ch)
+	if e.isCell {
+		return nil, missed, fmt.Errorf("mcache: channel %d is a fetch-and-φ cell", ch)
+	}
+	if len(e.senders) > 0 {
+		s := e.senders[0]
+		e.senders = e.senders[1:]
+		c.Stats.Rendezvous++
+		return &Completion{Value: s.val, Sender: s.sender, Receiver: receiver}, missed, nil
+	}
+	e.receivers = append(e.receivers, receiver)
+	return nil, missed, nil
+}
+
+// FetchAndAdd atomically adds delta to the channel's synchronization word
+// and returns the previous value (the fetch-and-φ1 operation).
+func (c *Cache) FetchAndAdd(ch, delta int32) (old int32, missed bool, err error) {
+	c.Stats.FetchPhis++
+	e, missed := c.lookup(ch)
+	if !e.isCell && e.state() != Empty {
+		return 0, missed, fmt.Errorf("mcache: channel %d is in rendezvous use (%v)", ch, e.state())
+	}
+	e.isCell = true
+	old = e.cellValue
+	e.cellValue += delta
+	return old, missed, nil
+}
+
+// FetchAndStore atomically replaces the channel's synchronization word and
+// returns the previous value (the fetch-and-φ2 operation).
+func (c *Cache) FetchAndStore(ch, val int32) (old int32, missed bool, err error) {
+	c.Stats.FetchPhis++
+	e, missed := c.lookup(ch)
+	if !e.isCell && e.state() != Empty {
+		return 0, missed, fmt.Errorf("mcache: channel %d is in rendezvous use (%v)", ch, e.state())
+	}
+	e.isCell = true
+	old = e.cellValue
+	e.cellValue = val
+	return old, missed, nil
+}
+
+// ChannelState reports the externally visible state of a channel without
+// disturbing cache statistics or recency (a debugging/verification probe).
+func (c *Cache) ChannelState(ch int32) State {
+	if e, ok := c.entries[ch]; ok {
+		return e.state()
+	}
+	if e, ok := c.backing[ch]; ok {
+		return e.state()
+	}
+	return Empty
+}
+
+// PendingWaiters reports how many parties are blocked on the channel.
+func (c *Cache) PendingWaiters(ch int32) int {
+	e, ok := c.entries[ch]
+	if !ok {
+		e, ok = c.backing[ch]
+	}
+	if !ok {
+		return 0
+	}
+	return len(e.senders) + len(e.receivers)
+}
+
+// Resident reports the number of entries currently held in the cache.
+func (c *Cache) Resident() int { return len(c.entries) }

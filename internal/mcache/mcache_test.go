@@ -1,0 +1,272 @@
+package mcache
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	ctxA = ContextRef{PE: 0, Ctx: 1}
+	ctxB = ContextRef{PE: 1, Ctx: 2}
+)
+
+// TestStateTransitionTable walks the send/receive state transition table of
+// Table 5.4: empty --send--> sender-wait --recv--> empty (rendezvous), and
+// symmetrically for receive-first.
+func TestStateTransitionTable(t *testing.T) {
+	c := New(8)
+
+	// Send first.
+	done, _, err := c.Send(1, 42, ctxA)
+	if err != nil || done != nil {
+		t.Fatalf("send on empty: %v, %v", done, err)
+	}
+	if got := c.ChannelState(1); got != SenderWait {
+		t.Fatalf("state = %v, want sender-wait", got)
+	}
+	done, _, err = c.Recv(1, ctxB)
+	if err != nil || done == nil {
+		t.Fatalf("recv on sender-wait: %v, %v", done, err)
+	}
+	if done.Value != 42 || done.Sender != ctxA || done.Receiver != ctxB {
+		t.Errorf("completion = %+v", done)
+	}
+	if got := c.ChannelState(1); got != Empty {
+		t.Errorf("state after rendezvous = %v", got)
+	}
+
+	// Receive first.
+	done, _, err = c.Recv(2, ctxB)
+	if err != nil || done != nil {
+		t.Fatalf("recv on empty: %v, %v", done, err)
+	}
+	if got := c.ChannelState(2); got != ReceiverWait {
+		t.Fatalf("state = %v", got)
+	}
+	done, _, err = c.Send(2, 7, ctxA)
+	if err != nil || done == nil {
+		t.Fatalf("send on receiver-wait: %v, %v", done, err)
+	}
+	if done.Value != 7 {
+		t.Errorf("value = %d", done.Value)
+	}
+	if c.Stats.Rendezvous != 2 {
+		t.Errorf("rendezvous = %d", c.Stats.Rendezvous)
+	}
+}
+
+// TestFIFOOrdering checks that multiple blocked senders complete in order.
+func TestFIFOOrdering(t *testing.T) {
+	c := New(8)
+	for i := int32(0); i < 3; i++ {
+		if done, _, err := c.Send(5, 100+i, ContextRef{Ctx: int(i)}); err != nil || done != nil {
+			t.Fatal("send should block")
+		}
+	}
+	if got := c.PendingWaiters(5); got != 3 {
+		t.Fatalf("waiters = %d", got)
+	}
+	for i := int32(0); i < 3; i++ {
+		done, _, err := c.Recv(5, ctxB)
+		if err != nil || done == nil {
+			t.Fatal("recv should complete")
+		}
+		if done.Value != 100+i || done.Sender.Ctx != int(i) {
+			t.Errorf("completion %d = %+v", i, done)
+		}
+	}
+}
+
+// TestFetchAndPhi checks the fetch-and-φ1 (add) and fetch-and-φ2 (store)
+// operations of Table 5.3.
+func TestFetchAndPhi(t *testing.T) {
+	c := New(8)
+	old, _, err := c.FetchAndAdd(9, 5)
+	if err != nil || old != 0 {
+		t.Fatalf("first fetch-and-add = %d, %v", old, err)
+	}
+	old, _, err = c.FetchAndAdd(9, 3)
+	if err != nil || old != 5 {
+		t.Fatalf("second fetch-and-add = %d, %v", old, err)
+	}
+	old, _, err = c.FetchAndStore(9, 100)
+	if err != nil || old != 8 {
+		t.Fatalf("fetch-and-store = %d, %v", old, err)
+	}
+	if got := c.ChannelState(9); got != ValueCell {
+		t.Errorf("state = %v", got)
+	}
+
+	// Mixing rendezvous and cell use on one channel is an error.
+	if _, _, err := c.Send(9, 1, ctxA); err == nil {
+		t.Error("send on cell accepted")
+	}
+	if _, _, err := c.Recv(9, ctxA); err == nil {
+		t.Error("recv on cell accepted")
+	}
+	if done, _, err := c.Send(11, 1, ctxA); err != nil || done != nil {
+		t.Fatal("send setup failed")
+	}
+	if _, _, err := c.FetchAndAdd(11, 1); err == nil {
+		t.Error("fetch-and-add on rendezvous channel accepted")
+	}
+	if _, _, err := c.FetchAndStore(11, 1); err == nil {
+		t.Error("fetch-and-store on rendezvous channel accepted")
+	}
+}
+
+// TestEvictionAndReload fills the cache beyond capacity with blocked
+// senders and checks that evicted entries are written back and transparently
+// reloaded, completing every rendezvous.
+func TestEvictionAndReload(t *testing.T) {
+	c := New(4)
+	const channels = 20
+	for ch := int32(0); ch < channels; ch++ {
+		if done, _, err := c.Send(ch, ch*10, ContextRef{Ctx: int(ch)}); err != nil || done != nil {
+			t.Fatal("send should block")
+		}
+	}
+	if c.Resident() > 4 {
+		t.Fatalf("resident = %d, capacity 4", c.Resident())
+	}
+	if c.Stats.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+	for ch := int32(0); ch < channels; ch++ {
+		done, _, err := c.Recv(ch, ctxB)
+		if err != nil || done == nil {
+			t.Fatalf("recv ch %d: %v, %v", ch, done, err)
+		}
+		if done.Value != ch*10 {
+			t.Errorf("ch %d value = %d", ch, done.Value)
+		}
+	}
+	if c.Stats.Rendezvous != channels {
+		t.Errorf("rendezvous = %d", c.Stats.Rendezvous)
+	}
+}
+
+// TestEvictionPrefersEmpty checks that free entries are evicted before
+// occupied ones, so waiters stay cached as long as possible.
+func TestEvictionPrefersEmpty(t *testing.T) {
+	c := New(2)
+	// ch 0 empty after a completed rendezvous; ch 1 occupied.
+	c.Recv(0, ctxB)
+	c.Send(0, 1, ctxA)
+	c.Send(1, 5, ctxA)
+	evBefore := c.Stats.Evictions
+	// Touching ch 2 must evict the empty ch 0, not the occupied ch 1.
+	c.Send(2, 9, ctxA)
+	if c.Stats.Evictions != evBefore {
+		t.Errorf("evictions = %d, want %d (empty entry dropped for free)", c.Stats.Evictions, evBefore)
+	}
+	if got := c.ChannelState(1); got != SenderWait {
+		t.Errorf("occupied entry lost: %v", got)
+	}
+}
+
+// TestNoTokenLoss is the core safety property: under random interleavings
+// of sends and receives on random channels, every sent value is delivered
+// exactly once, in per-channel FIFO order, regardless of cache pressure.
+func TestNoTokenLoss(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(1 + rng.Intn(4)) // tiny caches to force eviction traffic
+		type sent struct{ val int32 }
+		pendingSends := map[int32][]int32{} // channel -> values in flight
+		pendingRecvs := map[int32]int{}
+		delivered := map[int32][]int32{}
+		var nextVal int32
+		for op := 0; op < 300; op++ {
+			ch := int32(rng.Intn(6))
+			if rng.Intn(2) == 0 {
+				nextVal++
+				done, _, err := c.Send(ch, nextVal, ctxA)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if done != nil {
+					if pendingRecvs[ch] == 0 {
+						t.Fatalf("seed %d: completion without pending recv", seed)
+					}
+					pendingRecvs[ch]--
+					delivered[ch] = append(delivered[ch], done.Value)
+				} else {
+					pendingSends[ch] = append(pendingSends[ch], nextVal)
+				}
+			} else {
+				done, _, err := c.Recv(ch, ctxB)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if done != nil {
+					want := pendingSends[ch][0]
+					pendingSends[ch] = pendingSends[ch][1:]
+					if done.Value != want {
+						t.Fatalf("seed %d: ch %d delivered %d, want %d (FIFO)", seed, ch, done.Value, want)
+					}
+					delivered[ch] = append(delivered[ch], done.Value)
+				} else {
+					pendingRecvs[ch]++
+				}
+			}
+		}
+		// Drain all pending sends.
+		for ch, vals := range pendingSends {
+			for _, want := range vals {
+				done, _, err := c.Recv(ch, ctxB)
+				if err != nil || done == nil {
+					t.Fatalf("seed %d: drain ch %d failed", seed, ch)
+				}
+				if done.Value != want {
+					t.Fatalf("seed %d: drain ch %d got %d want %d", seed, ch, done.Value, want)
+				}
+			}
+		}
+		_ = sent{}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Empty: "empty", SenderWait: "sender-wait",
+		ReceiverWait: "receiver-wait", ValueCell: "value-cell",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", int(s), s.String())
+		}
+	}
+	if !strings.Contains(State(9).String(), "9") {
+		t.Error("unknown state")
+	}
+}
+
+func TestMissAccounting(t *testing.T) {
+	c := New(2)
+	c.Send(1, 1, ctxA) // miss (new)
+	c.Recv(1, ctxB)    // hit
+	if c.Stats.Misses != 1 || c.Stats.Hits != 1 {
+		t.Errorf("misses=%d hits=%d", c.Stats.Misses, c.Stats.Hits)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	c := New(0)
+	if c.capacity != 1 {
+		t.Errorf("capacity = %d", c.capacity)
+	}
+	done, _, err := c.Send(1, 9, ctxA)
+	if err != nil || done != nil {
+		t.Fatal("send failed")
+	}
+	done, _, err = c.Recv(1, ctxB)
+	if err != nil || done == nil || done.Value != 9 {
+		t.Fatal("recv failed")
+	}
+}

@@ -1,0 +1,318 @@
+package occam
+
+import "fmt"
+
+// Pos locates an AST node in the source for diagnostics.
+type Pos struct{ Line int }
+
+func (p Pos) String() string { return fmt.Sprintf("line %d", p.Line) }
+
+// SymKind classifies resolved names.
+type SymKind int
+
+const (
+	SymVar SymKind = iota
+	SymVecVar
+	SymVecByteVar
+	SymChan
+	SymVecChan
+	SymDef
+	SymProc
+	SymParamValue
+	SymParamVar
+	SymParamVec
+	SymParamChan
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymVar:
+		return "var"
+	case SymVecVar:
+		return "var vector"
+	case SymVecByteVar:
+		return "byte vector"
+	case SymChan:
+		return "chan"
+	case SymVecChan:
+		return "chan vector"
+	case SymDef:
+		return "def"
+	case SymProc:
+		return "proc"
+	case SymParamValue:
+		return "value parameter"
+	case SymParamVar:
+		return "var parameter"
+	case SymParamVec:
+		return "vec parameter"
+	case SymParamChan:
+		return "chan parameter"
+	default:
+		return fmt.Sprintf("symkind(%d)", int(k))
+	}
+}
+
+// Symbol is a resolved name. Pointer identity distinguishes shadowed names;
+// ID gives a deterministic total order.
+type Symbol struct {
+	ID   int
+	Name string
+	Kind SymKind
+	// Size is the element count of vector symbols.
+	Size int
+	// Value is the folded constant of def symbols.
+	Value int32
+	// Proc links a SymProc to its declaration.
+	Proc *Decl
+	// Level is the lexical nesting depth, for diagnostics.
+	Level int
+}
+
+func (s *Symbol) String() string {
+	if s == nil {
+		return "<unresolved>"
+	}
+	return fmt.Sprintf("%s#%d", s.Name, s.ID)
+}
+
+// IsChannelKind reports whether the symbol names a channel (scalar, vector
+// or parameter).
+func (s *Symbol) IsChannelKind() bool {
+	return s.Kind == SymChan || s.Kind == SymVecChan || s.Kind == SymParamChan
+}
+
+// IsVector reports whether the symbol names a vector (of words, bytes or
+// channels).
+func (s *Symbol) IsVector() bool {
+	return s.Kind == SymVecVar || s.Kind == SymVecByteVar ||
+		s.Kind == SymVecChan || s.Kind == SymParamVec
+}
+
+// Process is any OCCAM process (statement).
+type Process interface{ ProcPos() Pos }
+
+// Expr is any OCCAM expression.
+type Expr interface{ ExprPos() Pos }
+
+// VarRef is a reference to a named object, optionally subscripted. Byte
+// marks a byte subscript (`c[byte 0]`, Figure 4.19's example).
+type VarRef struct {
+	P     Pos
+	Name  string
+	Index Expr // nil for scalar references
+	Byte  bool
+	Sym   *Symbol
+}
+
+func (v *VarRef) ExprPos() Pos { return v.P }
+func (v *VarRef) String() string {
+	if v.Index != nil {
+		return v.Name + "[...]"
+	}
+	return v.Name
+}
+
+// IntLit is an integer literal (true and false parse to -1 and 0).
+type IntLit struct {
+	P Pos
+	V int32
+}
+
+func (e *IntLit) ExprPos() Pos { return e.P }
+
+// NowExpr reads the real-time clock (the "now" actor).
+type NowExpr struct{ P Pos }
+
+func (e *NowExpr) ExprPos() Pos { return e.P }
+
+// UnaryExpr applies "-" or "not".
+type UnaryExpr struct {
+	P  Pos
+	Op string
+	X  Expr
+}
+
+func (e *UnaryExpr) ExprPos() Pos { return e.P }
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	P    Pos
+	Op   string
+	A, B Expr
+}
+
+func (e *BinExpr) ExprPos() Pos { return e.P }
+
+// Skip is the no-op primitive.
+type Skip struct{ P Pos }
+
+func (s *Skip) ProcPos() Pos { return s.P }
+
+// Assign is `target := value`.
+type Assign struct {
+	P      Pos
+	Target *VarRef
+	Value  Expr
+}
+
+func (a *Assign) ProcPos() Pos { return a.P }
+
+// Input is `c ? x`.
+type Input struct {
+	P      Pos
+	Chan   *VarRef
+	Target *VarRef
+}
+
+func (i *Input) ProcPos() Pos { return i.P }
+
+// Output is `c ! e`.
+type Output struct {
+	P     Pos
+	Chan  *VarRef
+	Value Expr
+}
+
+func (o *Output) ProcPos() Pos { return o.P }
+
+// Wait is `wait now after e` (real-time synchronization).
+type Wait struct {
+	P     Pos
+	After Expr
+}
+
+func (w *Wait) ProcPos() Pos { return w.P }
+
+// Replicator is `name = [from for count]`.
+type Replicator struct {
+	P           Pos
+	Name        string
+	Sym         *Symbol
+	From, Count Expr
+}
+
+// Seq composes processes sequentially; a non-nil Rep makes it a replicated
+// seq (a counted loop).
+type Seq struct {
+	P    Pos
+	Rep  *Replicator
+	Body []Process
+}
+
+func (s *Seq) ProcPos() Pos { return s.P }
+
+// Par composes processes in parallel; a non-nil Rep makes it a replicated
+// par (dynamic process creation).
+type Par struct {
+	P    Pos
+	Rep  *Replicator
+	Body []Process
+}
+
+func (p *Par) ProcPos() Pos { return p.P }
+
+// Guarded is one branch of an if: a condition and its process.
+type Guarded struct {
+	P    Pos
+	Cond Expr
+	Body Process
+}
+
+// If is conditional execution; the first true guard's body runs, and if
+// none is true the construct behaves as skip.
+type If struct {
+	P        Pos
+	Branches []*Guarded
+}
+
+func (i *If) ProcPos() Pos { return i.P }
+
+// While is `while cond` with an indented body.
+type While struct {
+	P    Pos
+	Cond Expr
+	Body Process
+}
+
+func (w *While) ProcPos() Pos { return w.P }
+
+// Call invokes a declared proc.
+type Call struct {
+	P    Pos
+	Name string
+	Args []Expr
+	Sym  *Symbol
+}
+
+func (c *Call) ProcPos() Pos { return c.P }
+
+// DeclKind classifies declarations.
+type DeclKind int
+
+const (
+	DeclVar DeclKind = iota
+	DeclChan
+	DeclDef
+	DeclProc
+)
+
+// DeclItem is one name in a var/chan declaration, with an optional vector
+// size expression; Byte marks a byte vector (`var c[byte 3]:`, §5.3.1).
+type DeclItem struct {
+	Name string
+	Size Expr // nil for scalars
+	Byte bool
+	Sym  *Symbol
+}
+
+// ParamMode is the passing mode of a proc parameter.
+type ParamMode int
+
+const (
+	// ParamValue passes by value.
+	ParamValue ParamMode = iota
+	// ParamVar passes a scalar copy-in/copy-out (the thesis's live "var
+	// formal" discipline).
+	ParamVar
+	// ParamVec passes a vector by reference (its base address).
+	ParamVec
+	// ParamChan passes a channel identifier.
+	ParamChan
+)
+
+// Param is one formal parameter of a proc.
+type Param struct {
+	Mode ParamMode
+	Name string
+	Sym  *Symbol
+}
+
+// Decl is a declaration prefixing a process.
+type Decl struct {
+	P     Pos
+	Kind  DeclKind
+	Items []*DeclItem // var/chan
+	Name  string      // def/proc
+	Value Expr        // def
+	Param []*Param    // proc
+	Body  Process     // proc
+	Sym   *Symbol     // def/proc
+}
+
+// Scope is one or more declarations followed by the process they scope
+// over.
+type Scope struct {
+	P     Pos
+	Decls []*Decl
+	Body  Process
+}
+
+func (s *Scope) ProcPos() Pos { return s.P }
+
+// Program is a parsed and analyzed compilation unit.
+type Program struct {
+	Body Process
+	// Symbols lists every symbol in creation order.
+	Symbols []*Symbol
+}

@@ -1,0 +1,425 @@
+package occam
+
+import (
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return prog
+}
+
+func parseErr(t *testing.T, src, want string) {
+	t.Helper()
+	_, err := Parse(src)
+	if err == nil {
+		t.Fatalf("Parse succeeded, want error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not contain %q", err, want)
+	}
+}
+
+func TestParseThesisIterationExample(t *testing.T) {
+	// The Figure 4.6 program.
+	src := `var sum, result:
+seq
+  sum := 0
+  seq k = [1 for 10]
+    sum := sum + k
+  result := sum
+`
+	prog := parse(t, src)
+	scope, ok := prog.Body.(*Scope)
+	if !ok {
+		t.Fatalf("body is %T", prog.Body)
+	}
+	if len(scope.Decls) != 1 || len(scope.Decls[0].Items) != 2 {
+		t.Fatalf("decls = %+v", scope.Decls)
+	}
+	seq, ok := scope.Body.(*Seq)
+	if !ok || len(seq.Body) != 3 {
+		t.Fatalf("seq = %+v", scope.Body)
+	}
+	rep, ok := seq.Body[1].(*Seq)
+	if !ok || rep.Rep == nil || rep.Rep.Name != "k" {
+		t.Fatalf("replicated seq = %+v", seq.Body[1])
+	}
+	// The two `sum` references resolve to the same symbol; `k` resolves
+	// to the replicator's.
+	assign := rep.Body[0].(*Assign)
+	bin := assign.Value.(*BinExpr)
+	if bin.A.(*VarRef).Sym != assign.Target.Sym {
+		t.Error("sum symbols differ")
+	}
+	if bin.B.(*VarRef).Sym != rep.Rep.Sym {
+		t.Error("k symbol mismatch")
+	}
+}
+
+func TestParseDynamicProcessCreation(t *testing.T) {
+	// The Figure 4.7 / 4.10 shape.
+	src := `def n = 10:
+var v[n]:
+par i = [0 for n]
+  var square:
+  seq
+    square := i * i
+    v[i] := square
+`
+	prog := parse(t, src)
+	// Consecutive declarations at one indentation collect into one scope.
+	scope := prog.Body.(*Scope)
+	if len(scope.Decls) != 2 {
+		t.Fatalf("decls = %d", len(scope.Decls))
+	}
+	if scope.Decls[0].Sym.Value != 10 {
+		t.Errorf("def n = %d", scope.Decls[0].Sym.Value)
+	}
+	if scope.Decls[1].Items[0].Sym.Size != 10 {
+		t.Errorf("vector size = %d", scope.Decls[1].Items[0].Sym.Size)
+	}
+	par := scope.Body.(*Par)
+	if par.Rep == nil {
+		t.Fatal("replicator missing")
+	}
+}
+
+func TestParseProcAndCall(t *testing.T) {
+	src := `var x, y:
+proc double(value a, var b) =
+  b := a + a
+:
+seq
+  x := 4
+  double(x, y)
+`
+	prog := parse(t, src)
+	scope := prog.Body.(*Scope)
+	var procDecl *Decl
+	for _, d := range scope.Decls {
+		if d.Kind == DeclProc {
+			procDecl = d
+		}
+	}
+	if procDecl == nil || len(procDecl.Param) != 2 {
+		t.Fatalf("proc decl = %+v", procDecl)
+	}
+	if procDecl.Param[0].Mode != ParamValue || procDecl.Param[1].Mode != ParamVar {
+		t.Error("param modes wrong")
+	}
+	call := scope.Body.(*Seq).Body[1].(*Call)
+	if call.Sym != procDecl.Sym {
+		t.Error("call does not resolve to proc")
+	}
+}
+
+func TestParseRecursiveProc(t *testing.T) {
+	src := `var r:
+proc fact(value n, var out) =
+  var sub:
+  if
+    n <= 1
+      out := 1
+    n > 1
+      seq
+        fact(n - 1, sub)
+        out := n * sub
+seq
+  fact(5, r)
+`
+	prog := parse(t, src)
+	_ = prog // resolution without error is the point: fact sees itself
+}
+
+func TestParseChannelsAndAlternatives(t *testing.T) {
+	src := `chan c:
+var x:
+par
+  c ! 3 + 4
+  c ? x
+`
+	prog := parse(t, src)
+	par := prog.Body.(*Scope).Body.(*Par)
+	out := par.Body[0].(*Output)
+	in := par.Body[1].(*Input)
+	if out.Chan.Sym != in.Chan.Sym {
+		t.Error("channel symbols differ")
+	}
+	if out.Chan.Sym.Kind != SymChan {
+		t.Errorf("kind = %v", out.Chan.Sym.Kind)
+	}
+}
+
+func TestParseWhileIfWaitSkip(t *testing.T) {
+	src := `var t, x:
+seq
+  x := 0
+  while x < 10
+    seq
+      x := x + 1
+      skip
+  t := now
+  wait now after t + 100
+  if
+    x = 10
+      skip
+`
+	parse(t, src)
+}
+
+func TestParseChanVector(t *testing.T) {
+	src := `chan cs[4]:
+var x:
+par
+  cs[0] ! 1
+  cs[0] ? x
+`
+	prog := parse(t, src)
+	if prog.Body.(*Scope).Decls[0].Items[0].Sym.Kind != SymVecChan {
+		t.Error("chan vector kind")
+	}
+}
+
+func TestOperatorPrecedenceAndFolding(t *testing.T) {
+	src := `def a = 2 + 3 * 4:
+def b = (2 + 3) * 4:
+def c = a < b:
+def d = 1 << 4:
+def e = 12 /\ 10:
+def f = 12 \/ 10:
+def g = 12 >< 10:
+def h = - 5:
+def i = not 0:
+def j = 17 \ 5:
+skip
+`
+	prog := parse(t, src)
+	want := map[string]int32{
+		"a": 14, "b": 20, "c": -1, "d": 16,
+		"e": 8, "f": 14, "g": 6, "h": -5, "i": -1, "j": 2,
+	}
+	for _, d := range prog.Body.(*Scope).Decls {
+		if w, ok := want[d.Name]; ok && d.Sym.Value != w {
+			t.Errorf("def %s = %d, want %d", d.Name, d.Sym.Value, w)
+		}
+	}
+}
+
+func TestScopingAndShadowing(t *testing.T) {
+	src := `var x:
+seq
+  x := 1
+  var x:
+  seq
+    x := 2
+`
+	prog := parse(t, src)
+	outer := prog.Body.(*Scope)
+	a1 := outer.Body.(*Seq).Body[0].(*Assign)
+	innerScope := outer.Body.(*Seq).Body[1].(*Scope)
+	a2 := innerScope.Body.(*Seq).Body[0].(*Assign)
+	if a1.Target.Sym == a2.Target.Sym {
+		t.Error("shadowed x shares a symbol")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"", "empty program"},
+		{"seq\n  x := 1\n", "undeclared"},
+		{"var x:\nx := y\n", "undeclared"},
+		{"var x:\nseq\n    x := 1\n  x := 2\n", "indentation"},
+		{"chan c:\nc := 1\n", "cannot assign"},
+		{"var x:\nx ! 1\n", "not a channel"},
+		{"var v[4]:\nv := 1\n", "subscript"},
+		{"var x:\nx[0] := 1\n", "scalar"},
+		{"var x:\nvar x:\nx := 1\n", "redeclared"},
+		{"var v[0]:\nskip\n", "non-positive"},
+		{"var v[z]:\nskip\n", "undeclared"},
+		{"def n = x:\nskip\n", "undeclared"},
+		{"var y:\ndef n = y:\nskip\n", "constant"},
+		{"def n = 1/0:\nskip\n", "division by zero"},
+		{"while 1\nskip\n", "no indented body"},
+		{"if\nskip\n", "no indented body"},
+		{"seq i = [0 for 4]\n  skip\n  skip\n", "exactly one"},
+		{"proc p() =\n  skip\nseq\n  p(1)\n", "argument"},
+		{"proc p(var a) =\n  skip\nvar x:\nseq\n  p(3)\n", "must be a variable"},
+		{"proc p(vec v) =\n  skip\nvar x:\nseq\n  p(x)\n", "vector"},
+		{"proc p(chan c) =\n  skip\nvar x:\nseq\n  p(x)\n", "not a channel"},
+		{"var x:\nq(x)\n", "undeclared"},
+		{"var x:\nx(3)\n", "not a proc"},
+		{"var x:\nx :=\n", "expected an expression"},
+		{"var x:\nx ?? 1\n", "expected"},
+		{"skip extra\n", "skip takes nothing"},
+		{"wait 10\n", "now after"},
+		{"var x:\nx := $\n", "unexpected character"},
+		{"var x:\nx := 99999999999\n", "too large"},
+	}
+	for _, c := range cases {
+		parseErr(t, c.src, c.want)
+	}
+}
+
+func TestSymKindStrings(t *testing.T) {
+	kinds := []SymKind{SymVar, SymVecVar, SymChan, SymVecChan, SymDef, SymProc,
+		SymParamValue, SymParamVar, SymParamVec, SymParamChan}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d string %q empty or duplicated", int(k), s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestEvalBinOpErrors(t *testing.T) {
+	if _, err := EvalBinOp("%%", 1, 2); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := EvalBinOp("\\", 1, 0); err == nil {
+		t.Error("mod by zero accepted")
+	}
+}
+
+func TestTabsAndComments(t *testing.T) {
+	src := "var x: -- a variable\nseq\n\tx := 1 -- tab indented\n\tskip\n"
+	parse(t, src)
+}
+
+// TestASTAccessors covers the position and classification helpers.
+func TestASTAccessors(t *testing.T) {
+	src := `var x, v[2], b[byte 2]:
+chan c:
+seq
+  x := 1 + (- 2)
+  v[0] := true
+  b[byte 0] := x
+  c ! x
+  c ? x
+  wait now after now
+  skip
+  while x < 0
+    skip
+  if
+    x = 99
+      skip
+`
+	prog := parse(t, src)
+	var procs []Process
+	var exprs []Expr
+	var walkP func(p Process)
+	var walkE func(e Expr)
+	walkE = func(e Expr) {
+		if e == nil {
+			return
+		}
+		exprs = append(exprs, e)
+		switch n := e.(type) {
+		case *UnaryExpr:
+			walkE(n.X)
+		case *BinExpr:
+			walkE(n.A)
+			walkE(n.B)
+		case *VarRef:
+			walkE(n.Index)
+		}
+	}
+	walkP = func(p Process) {
+		procs = append(procs, p)
+		switch n := p.(type) {
+		case *Scope:
+			walkP(n.Body)
+		case *Seq:
+			for _, b := range n.Body {
+				walkP(b)
+			}
+		case *Par:
+			for _, b := range n.Body {
+				walkP(b)
+			}
+		case *While:
+			walkE(n.Cond)
+			walkP(n.Body)
+		case *If:
+			for _, g := range n.Branches {
+				walkE(g.Cond)
+				walkP(g.Body)
+			}
+		case *Assign:
+			walkE(n.Target)
+			walkE(n.Value)
+		case *Output:
+			walkE(n.Chan)
+			walkE(n.Value)
+		case *Input:
+			walkE(n.Chan)
+			walkE(n.Target)
+		case *Wait:
+			walkE(n.After)
+		}
+	}
+	walkP(prog.Body)
+	for _, p := range procs {
+		if p.ProcPos().Line <= 0 {
+			t.Errorf("%T has no position", p)
+		}
+	}
+	for _, e := range exprs {
+		if e.ExprPos().Line <= 0 {
+			t.Errorf("%T has no position", e)
+		}
+	}
+	// Symbol helpers.
+	for _, s := range prog.Symbols {
+		_ = s.String()
+		switch s.Name {
+		case "c":
+			if !s.IsChannelKind() {
+				t.Error("c should be a channel kind")
+			}
+		case "v", "b":
+			if !s.IsVector() {
+				t.Errorf("%s should be a vector", s.Name)
+			}
+		case "x":
+			if s.IsVector() || s.IsChannelKind() {
+				t.Error("x misclassified")
+			}
+		}
+	}
+	var nilSym *Symbol
+	if nilSym.String() != "<unresolved>" {
+		t.Error("nil symbol string")
+	}
+	if (Pos{Line: 7}).String() != "line 7" {
+		t.Error("Pos string")
+	}
+	// VarRef display helper.
+	ref := &VarRef{Name: "v", Index: &IntLit{V: 1}}
+	if ref.String() != "v[...]" {
+		t.Errorf("VarRef string = %q", ref.String())
+	}
+	if (&VarRef{Name: "x"}).String() != "x" {
+		t.Error("scalar VarRef string")
+	}
+}
+
+func TestByteVectorParsing(t *testing.T) {
+	prog := parse(t, "var b[byte 5]:\nb[byte 2] := 7\n")
+	scope := prog.Body.(*Scope)
+	sym := scope.Decls[0].Items[0].Sym
+	if sym.Kind != SymVecByteVar || sym.Size != 5 {
+		t.Errorf("byte vector sym = %v size %d", sym.Kind, sym.Size)
+	}
+	asn := scope.Body.(*Assign)
+	if !asn.Target.Byte {
+		t.Error("byte subscript not recorded")
+	}
+}

@@ -1,0 +1,661 @@
+package occam
+
+import "fmt"
+
+// Parse scans, parses and semantically analyzes an OCCAM source text.
+func Parse(src string) (*Program, error) {
+	lines, err := scan(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("occam: empty program")
+	}
+	p := &parser{lines: lines}
+	body, err := p.parseProcess(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("occam: line %d: unexpected trailing input (check indentation)", l.num)
+	}
+	prog := &Program{Body: body}
+	if err := analyze(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) peek() *line {
+	if p.pos >= len(p.lines) {
+		return nil
+	}
+	return &p.lines[p.pos]
+}
+
+func (p *parser) errf(l *line, format string, args ...any) error {
+	num := 0
+	if l != nil {
+		num = l.num
+	}
+	return fmt.Errorf("occam: line %d: %s", num, fmt.Sprintf(format, args...))
+}
+
+// childIndent returns the indentation of the next line provided it is
+// deeper than parentIndent.
+func (p *parser) childIndent(parent *line) (int, error) {
+	next := p.peek()
+	if next == nil || next.indent <= parent.indent {
+		return 0, p.errf(parent, "construct %q has no indented body", parent.toks[0].text)
+	}
+	return next.indent, nil
+}
+
+// parseProcess parses one process whose first line sits at exactly the
+// given indentation.
+func (p *parser) parseProcess(indent int) (Process, error) {
+	l := p.peek()
+	if l == nil {
+		return nil, fmt.Errorf("occam: unexpected end of program")
+	}
+	if l.indent != indent {
+		return nil, p.errf(l, "expected a process at indentation %d, found %d", indent, l.indent)
+	}
+	t0 := l.toks[0]
+	if t0.kind == tokKeyword {
+		switch t0.text {
+		case "var", "chan", "def", "proc":
+			return p.parseScope(indent)
+		case "seq", "par":
+			return p.parseSeqPar(indent)
+		case "if":
+			return p.parseIf(indent)
+		case "while":
+			return p.parseWhile(indent)
+		case "skip":
+			if len(l.toks) != 1 {
+				return nil, p.errf(l, "skip takes nothing")
+			}
+			p.pos++
+			return &Skip{P: Pos{l.num}}, nil
+		case "wait":
+			return p.parseWait(l)
+		}
+		return nil, p.errf(l, "unexpected keyword %q", t0.text)
+	}
+	return p.parsePrimitive(l)
+}
+
+// parseScope collects the run of declarations at this indentation and the
+// process they scope over.
+func (p *parser) parseScope(indent int) (Process, error) {
+	first := p.peek()
+	var decls []*Decl
+	for {
+		l := p.peek()
+		if l == nil {
+			return nil, p.errf(first, "declarations with no process to scope over")
+		}
+		if l.indent != indent || l.toks[0].kind != tokKeyword {
+			break
+		}
+		switch l.toks[0].text {
+		case "var", "chan":
+			d, err := p.parseVarChan(l)
+			if err != nil {
+				return nil, err
+			}
+			decls = append(decls, d)
+		case "def":
+			d, err := p.parseDef(l)
+			if err != nil {
+				return nil, err
+			}
+			decls = append(decls, d)
+		case "proc":
+			d, err := p.parseProc(l, indent)
+			if err != nil {
+				return nil, err
+			}
+			decls = append(decls, d)
+		default:
+			goto done
+		}
+	}
+done:
+	body, err := p.parseProcess(indent)
+	if err != nil {
+		return nil, err
+	}
+	return &Scope{P: Pos{first.num}, Decls: decls, Body: body}, nil
+}
+
+// parseVarChan parses `var a, v[10]:` or `chan c, cs[4]:`.
+func (p *parser) parseVarChan(l *line) (*Decl, error) {
+	p.pos++
+	kind := DeclVar
+	if l.toks[0].text == "chan" {
+		kind = DeclChan
+	}
+	d := &Decl{P: Pos{l.num}, Kind: kind}
+	lp := &lineParser{p: p, l: l, i: 1}
+	for {
+		name, err := lp.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		item := &DeclItem{Name: name}
+		if lp.accept("[") {
+			item.Byte = lp.acceptKeyword("byte")
+			size, err := lp.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := lp.expect("]"); err != nil {
+				return nil, err
+			}
+			item.Size = size
+		}
+		d.Items = append(d.Items, item)
+		if lp.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := lp.expect(":"); err != nil {
+		return nil, err
+	}
+	if !lp.atEnd() {
+		return nil, p.errf(l, "trailing tokens after declaration")
+	}
+	return d, nil
+}
+
+// parseDef parses `def n = expr:`.
+func (p *parser) parseDef(l *line) (*Decl, error) {
+	p.pos++
+	lp := &lineParser{p: p, l: l, i: 1}
+	name, err := lp.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := lp.expect("="); err != nil {
+		return nil, err
+	}
+	value, err := lp.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := lp.expect(":"); err != nil {
+		return nil, err
+	}
+	if !lp.atEnd() {
+		return nil, p.errf(l, "trailing tokens after def")
+	}
+	return &Decl{P: Pos{l.num}, Kind: DeclDef, Name: name, Value: value}, nil
+}
+
+// parseProc parses `proc name(params) =` followed by an indented body and
+// an optional terminating ":" line.
+func (p *parser) parseProc(l *line, indent int) (*Decl, error) {
+	p.pos++
+	lp := &lineParser{p: p, l: l, i: 1}
+	name, err := lp.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &Decl{P: Pos{l.num}, Kind: DeclProc, Name: name}
+	if err := lp.expect("("); err != nil {
+		return nil, err
+	}
+	if !lp.accept(")") {
+		for {
+			mode := ParamValue
+			switch {
+			case lp.acceptKeyword("value"):
+			case lp.acceptKeyword("var"):
+				mode = ParamVar
+			case lp.acceptKeyword("vec"):
+				mode = ParamVec
+			case lp.acceptKeyword("chan"):
+				mode = ParamChan
+			}
+			pname, err := lp.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			d.Param = append(d.Param, &Param{Mode: mode, Name: pname})
+			if lp.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := lp.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := lp.expect("="); err != nil {
+		return nil, err
+	}
+	if !lp.atEnd() {
+		return nil, p.errf(l, "trailing tokens after proc header")
+	}
+	childIndent, err := p.childIndent(l)
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseProcess(childIndent)
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	// Optional scope-terminating ":" line.
+	if next := p.peek(); next != nil && next.indent == indent &&
+		len(next.toks) == 1 && next.toks[0].text == ":" {
+		p.pos++
+	}
+	return d, nil
+}
+
+func (p *parser) parseSeqPar(indent int) (Process, error) {
+	l := p.peek()
+	p.pos++
+	isPar := l.toks[0].text == "par"
+	var rep *Replicator
+	if len(l.toks) > 1 {
+		lp := &lineParser{p: p, l: l, i: 1}
+		r, err := lp.parseReplicator()
+		if err != nil {
+			return nil, err
+		}
+		if !lp.atEnd() {
+			return nil, p.errf(l, "trailing tokens after replicator")
+		}
+		rep = r
+	}
+	var body []Process
+	if next := p.peek(); next != nil && next.indent > indent {
+		child := next.indent
+		for {
+			n := p.peek()
+			if n == nil || n.indent != child {
+				if n != nil && n.indent > child {
+					return nil, p.errf(n, "inconsistent indentation")
+				}
+				break
+			}
+			proc, err := p.parseProcess(child)
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, proc)
+		}
+	}
+	if rep != nil && len(body) != 1 {
+		return nil, p.errf(l, "a replicated %s needs exactly one component process, found %d", l.toks[0].text, len(body))
+	}
+	if isPar {
+		return &Par{P: Pos{l.num}, Rep: rep, Body: body}, nil
+	}
+	return &Seq{P: Pos{l.num}, Rep: rep, Body: body}, nil
+}
+
+func (p *parser) parseIf(indent int) (Process, error) {
+	l := p.peek()
+	if len(l.toks) != 1 {
+		return nil, p.errf(l, "if takes no expression on its own line")
+	}
+	p.pos++
+	child, err := p.childIndent(l)
+	if err != nil {
+		return nil, err
+	}
+	out := &If{P: Pos{l.num}}
+	for {
+		n := p.peek()
+		if n == nil || n.indent != child {
+			if n != nil && n.indent > child {
+				return nil, p.errf(n, "inconsistent indentation")
+			}
+			break
+		}
+		// A guard line: an expression.
+		lp := &lineParser{p: p, l: n, i: 0}
+		cond, err := lp.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.atEnd() {
+			return nil, p.errf(n, "trailing tokens after guard")
+		}
+		p.pos++
+		grand, err := p.childIndent(n)
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseProcess(grand)
+		if err != nil {
+			return nil, err
+		}
+		out.Branches = append(out.Branches, &Guarded{P: Pos{n.num}, Cond: cond, Body: body})
+	}
+	if len(out.Branches) == 0 {
+		return nil, p.errf(l, "if needs at least one guarded branch")
+	}
+	return out, nil
+}
+
+func (p *parser) parseWhile(indent int) (Process, error) {
+	l := p.peek()
+	p.pos++
+	lp := &lineParser{p: p, l: l, i: 1}
+	cond, err := lp.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !lp.atEnd() {
+		return nil, p.errf(l, "trailing tokens after while condition")
+	}
+	child, err := p.childIndent(l)
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseProcess(child)
+	if err != nil {
+		return nil, err
+	}
+	return &While{P: Pos{l.num}, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseWait(l *line) (Process, error) {
+	p.pos++
+	lp := &lineParser{p: p, l: l, i: 1}
+	lp.acceptKeyword("now")
+	if !lp.acceptKeyword("after") {
+		return nil, p.errf(l, "wait needs `now after <expr>`")
+	}
+	after, err := lp.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !lp.atEnd() {
+		return nil, p.errf(l, "trailing tokens after wait")
+	}
+	return &Wait{P: Pos{l.num}, After: after}, nil
+}
+
+// parsePrimitive parses assignment, input, output and proc calls.
+func (p *parser) parsePrimitive(l *line) (Process, error) {
+	p.pos++
+	lp := &lineParser{p: p, l: l, i: 0}
+	name, err := lp.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Proc call?
+	if lp.accept("(") {
+		call := &Call{P: Pos{l.num}, Name: name}
+		if !lp.accept(")") {
+			for {
+				arg, err := lp.parseExpr(0)
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if lp.accept(",") {
+					continue
+				}
+				break
+			}
+			if err := lp.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		if !lp.atEnd() {
+			return nil, p.errf(l, "trailing tokens after call")
+		}
+		return call, nil
+	}
+	ref := &VarRef{P: Pos{l.num}, Name: name}
+	if lp.accept("[") {
+		ref.Byte = lp.acceptKeyword("byte")
+		idx, err := lp.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := lp.expect("]"); err != nil {
+			return nil, err
+		}
+		ref.Index = idx
+	}
+	switch {
+	case lp.accept(":="):
+		value, err := lp.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.atEnd() {
+			return nil, p.errf(l, "trailing tokens after assignment")
+		}
+		return &Assign{P: Pos{l.num}, Target: ref, Value: value}, nil
+	case lp.accept("!"):
+		value, err := lp.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.atEnd() {
+			return nil, p.errf(l, "trailing tokens after output")
+		}
+		return &Output{P: Pos{l.num}, Chan: ref, Value: value}, nil
+	case lp.accept("?"):
+		tname, err := lp.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		target := &VarRef{P: Pos{l.num}, Name: tname}
+		if lp.accept("[") {
+			target.Byte = lp.acceptKeyword("byte")
+			idx, err := lp.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := lp.expect("]"); err != nil {
+				return nil, err
+			}
+			target.Index = idx
+		}
+		if !lp.atEnd() {
+			return nil, p.errf(l, "trailing tokens after input")
+		}
+		return &Input{P: Pos{l.num}, Chan: ref, Target: target}, nil
+	}
+	return nil, p.errf(l, "expected :=, ! or ? after %q", name)
+}
+
+// lineParser parses tokens within one logical line.
+type lineParser struct {
+	p *parser
+	l *line
+	i int
+}
+
+func (lp *lineParser) atEnd() bool { return lp.i >= len(lp.l.toks) }
+
+func (lp *lineParser) cur() token {
+	if lp.atEnd() {
+		return token{kind: tokEOF}
+	}
+	return lp.l.toks[lp.i]
+}
+
+func (lp *lineParser) accept(sym string) bool {
+	if t := lp.cur(); t.kind == tokSymbol && t.text == sym {
+		lp.i++
+		return true
+	}
+	return false
+}
+
+func (lp *lineParser) acceptKeyword(kw string) bool {
+	if t := lp.cur(); t.kind == tokKeyword && t.text == kw {
+		lp.i++
+		return true
+	}
+	return false
+}
+
+func (lp *lineParser) expect(sym string) error {
+	if !lp.accept(sym) {
+		return lp.p.errf(lp.l, "expected %q, found %s", sym, lp.cur())
+	}
+	return nil
+}
+
+func (lp *lineParser) expectIdent() (string, error) {
+	t := lp.cur()
+	if t.kind != tokIdent {
+		return "", lp.p.errf(lp.l, "expected an identifier, found %s", t)
+	}
+	lp.i++
+	return t.text, nil
+}
+
+// parseReplicator parses `name = [from for count]`.
+func (lp *lineParser) parseReplicator() (*Replicator, error) {
+	name, err := lp.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := lp.expect("="); err != nil {
+		return nil, err
+	}
+	if err := lp.expect("["); err != nil {
+		return nil, err
+	}
+	from, err := lp.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !lp.acceptKeyword("for") {
+		return nil, lp.p.errf(lp.l, "expected `for` in replicator")
+	}
+	count, err := lp.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := lp.expect("]"); err != nil {
+		return nil, err
+	}
+	return &Replicator{P: Pos{lp.l.num}, Name: name, From: from, Count: count}, nil
+}
+
+// Operator precedence: or < and < comparisons < additive < multiplicative.
+func binPrec(t token) int {
+	switch {
+	case t.kind == tokKeyword && t.text == "or":
+		return 1
+	case t.kind == tokKeyword && t.text == "and":
+		return 2
+	case t.kind == tokSymbol:
+		switch t.text {
+		case "=", "<>", "<", ">", "<=", ">=":
+			return 3
+		case "+", "-", "\\/", "><":
+			return 4
+		case "*", "/", "\\", "/\\", "<<", ">>":
+			return 5
+		}
+	}
+	return 0
+}
+
+func (lp *lineParser) parseExpr(minPrec int) (Expr, error) {
+	left, err := lp.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := lp.cur()
+		prec := binPrec(t)
+		if prec == 0 || prec < minPrec {
+			return left, nil
+		}
+		lp.i++
+		right, err := lp.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{P: Pos{lp.l.num}, Op: t.text, A: left, B: right}
+	}
+}
+
+func (lp *lineParser) parseUnary() (Expr, error) {
+	t := lp.cur()
+	if t.kind == tokSymbol && t.text == "-" {
+		lp.i++
+		x, err := lp.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{P: Pos{lp.l.num}, Op: "-", X: x}, nil
+	}
+	if t.kind == tokKeyword && t.text == "not" {
+		lp.i++
+		x, err := lp.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{P: Pos{lp.l.num}, Op: "not", X: x}, nil
+	}
+	return lp.parsePrimary()
+}
+
+func (lp *lineParser) parsePrimary() (Expr, error) {
+	t := lp.cur()
+	switch {
+	case t.kind == tokNumber:
+		lp.i++
+		return &IntLit{P: Pos{lp.l.num}, V: t.val}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		lp.i++
+		return &IntLit{P: Pos{lp.l.num}, V: -1}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		lp.i++
+		return &IntLit{P: Pos{lp.l.num}, V: 0}, nil
+	case t.kind == tokKeyword && t.text == "now":
+		lp.i++
+		return &NowExpr{P: Pos{lp.l.num}}, nil
+	case t.kind == tokIdent:
+		lp.i++
+		ref := &VarRef{P: Pos{lp.l.num}, Name: t.text}
+		if lp.accept("[") {
+			ref.Byte = lp.acceptKeyword("byte")
+			idx, err := lp.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if err := lp.expect("]"); err != nil {
+				return nil, err
+			}
+			ref.Index = idx
+		}
+		return ref, nil
+	case t.kind == tokSymbol && t.text == "(":
+		lp.i++
+		e, err := lp.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if err := lp.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, lp.p.errf(lp.l, "expected an expression, found %s", t)
+}

@@ -1,0 +1,455 @@
+package occam
+
+import "fmt"
+
+// analyze resolves every name in the program to a Symbol, folds def
+// constants and vector sizes, and checks the kind rules (assignment targets
+// are variables, channels are used only for communication, call arguments
+// match parameter modes).
+func analyze(prog *Program) error {
+	a := &analyzer{prog: prog}
+	a.push()
+	defer a.pop()
+	return a.process(prog.Body)
+}
+
+type scopeFrame map[string]*Symbol
+
+type analyzer struct {
+	prog   *Program
+	scopes []scopeFrame
+}
+
+func (a *analyzer) push() { a.scopes = append(a.scopes, scopeFrame{}) }
+func (a *analyzer) pop()  { a.scopes = a.scopes[:len(a.scopes)-1] }
+
+func (a *analyzer) declare(name string, kind SymKind, pos Pos) (*Symbol, error) {
+	top := a.scopes[len(a.scopes)-1]
+	if _, dup := top[name]; dup {
+		return nil, fmt.Errorf("occam: %v: %q redeclared in the same scope", pos, name)
+	}
+	s := &Symbol{ID: len(a.prog.Symbols), Name: name, Kind: kind, Level: len(a.scopes)}
+	a.prog.Symbols = append(a.prog.Symbols, s)
+	top[name] = s
+	return s, nil
+}
+
+func (a *analyzer) lookup(name string, pos Pos) (*Symbol, error) {
+	for i := len(a.scopes) - 1; i >= 0; i-- {
+		if s, ok := a.scopes[i][name]; ok {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("occam: %v: undeclared name %q", pos, name)
+}
+
+func (a *analyzer) process(p Process) error {
+	switch n := p.(type) {
+	case *Skip:
+		return nil
+	case *Scope:
+		a.push()
+		defer a.pop()
+		for _, d := range n.Decls {
+			if err := a.decl(d); err != nil {
+				return err
+			}
+		}
+		return a.process(n.Body)
+	case *Assign:
+		if err := a.assignable(n.Target); err != nil {
+			return err
+		}
+		return a.expr(n.Value)
+	case *Input:
+		if err := a.channelRef(n.Chan); err != nil {
+			return err
+		}
+		return a.assignable(n.Target)
+	case *Output:
+		if err := a.channelRef(n.Chan); err != nil {
+			return err
+		}
+		return a.expr(n.Value)
+	case *Wait:
+		return a.expr(n.After)
+	case *Seq:
+		return a.seqPar(n.Rep, n.Body)
+	case *Par:
+		return a.seqPar(n.Rep, n.Body)
+	case *If:
+		for _, g := range n.Branches {
+			if err := a.expr(g.Cond); err != nil {
+				return err
+			}
+			if err := a.process(g.Body); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *While:
+		if err := a.expr(n.Cond); err != nil {
+			return err
+		}
+		return a.process(n.Body)
+	case *Call:
+		return a.call(n)
+	}
+	return fmt.Errorf("occam: unknown process node %T", p)
+}
+
+func (a *analyzer) seqPar(rep *Replicator, body []Process) error {
+	if rep == nil {
+		for _, p := range body {
+			if err := a.process(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := a.expr(rep.From); err != nil {
+		return err
+	}
+	if err := a.expr(rep.Count); err != nil {
+		return err
+	}
+	a.push()
+	defer a.pop()
+	sym, err := a.declare(rep.Name, SymVar, rep.P)
+	if err != nil {
+		return err
+	}
+	rep.Sym = sym
+	return a.process(body[0])
+}
+
+func (a *analyzer) decl(d *Decl) error {
+	switch d.Kind {
+	case DeclVar, DeclChan:
+		for _, item := range d.Items {
+			kind := SymVar
+			if d.Kind == DeclChan {
+				kind = SymChan
+			}
+			size := 0
+			if item.Byte && (d.Kind == DeclChan || item.Size == nil) {
+				return fmt.Errorf("occam: %v: byte applies to var vectors only", d.P)
+			}
+			if item.Size != nil {
+				v, err := a.constExpr(item.Size)
+				if err != nil {
+					return fmt.Errorf("occam: %v: vector size of %q: %w", d.P, item.Name, err)
+				}
+				if v < 1 {
+					return fmt.Errorf("occam: %v: vector %q has non-positive size %d", d.P, item.Name, v)
+				}
+				size = int(v)
+				switch {
+				case d.Kind == DeclChan:
+					kind = SymVecChan
+				case item.Byte:
+					kind = SymVecByteVar
+				default:
+					kind = SymVecVar
+				}
+			}
+			s, err := a.declare(item.Name, kind, d.P)
+			if err != nil {
+				return err
+			}
+			s.Size = size
+			item.Sym = s
+		}
+		return nil
+	case DeclDef:
+		v, err := a.constExpr(d.Value)
+		if err != nil {
+			return fmt.Errorf("occam: %v: def %q: %w", d.P, d.Name, err)
+		}
+		s, err := a.declare(d.Name, SymDef, d.P)
+		if err != nil {
+			return err
+		}
+		s.Value = v
+		d.Sym = s
+		return nil
+	case DeclProc:
+		s, err := a.declare(d.Name, SymProc, d.P)
+		if err != nil {
+			return err
+		}
+		s.Proc = d
+		d.Sym = s
+		a.push()
+		defer a.pop()
+		for _, param := range d.Param {
+			var kind SymKind
+			switch param.Mode {
+			case ParamValue:
+				kind = SymParamValue
+			case ParamVar:
+				kind = SymParamVar
+			case ParamVec:
+				kind = SymParamVec
+			case ParamChan:
+				kind = SymParamChan
+			}
+			ps, err := a.declare(param.Name, kind, d.P)
+			if err != nil {
+				return err
+			}
+			param.Sym = ps
+		}
+		return a.process(d.Body)
+	}
+	return fmt.Errorf("occam: unknown declaration kind %d", d.Kind)
+}
+
+// assignable checks that a reference names a writable word: a scalar
+// variable or parameter, or an element of a word vector.
+func (a *analyzer) assignable(ref *VarRef) error {
+	s, err := a.lookup(ref.Name, ref.P)
+	if err != nil {
+		return err
+	}
+	ref.Sym = s
+	switch s.Kind {
+	case SymVar, SymParamValue, SymParamVar:
+		if ref.Index != nil {
+			return fmt.Errorf("occam: %v: %q is a scalar, not a vector", ref.P, ref.Name)
+		}
+		return nil
+	case SymVecVar, SymVecByteVar, SymParamVec:
+		if ref.Index == nil {
+			return fmt.Errorf("occam: %v: vector %q needs a subscript here", ref.P, ref.Name)
+		}
+		if err := a.byteAgreement(ref, s); err != nil {
+			return err
+		}
+		return a.expr(ref.Index)
+	default:
+		return fmt.Errorf("occam: %v: cannot assign to %s %q", ref.P, s.Kind, ref.Name)
+	}
+}
+
+// byteAgreement requires `byte` subscripts exactly on byte vectors.
+func (a *analyzer) byteAgreement(ref *VarRef, s *Symbol) error {
+	isByte := s.Kind == SymVecByteVar
+	if ref.Byte && !isByte {
+		return fmt.Errorf("occam: %v: %q is not a byte vector", ref.P, ref.Name)
+	}
+	if !ref.Byte && isByte {
+		return fmt.Errorf("occam: %v: byte vector %q needs a [byte ...] subscript", ref.P, ref.Name)
+	}
+	return nil
+}
+
+// channelRef checks a reference used as a channel in ? or !.
+func (a *analyzer) channelRef(ref *VarRef) error {
+	s, err := a.lookup(ref.Name, ref.P)
+	if err != nil {
+		return err
+	}
+	ref.Sym = s
+	switch s.Kind {
+	case SymChan, SymParamChan:
+		if ref.Index != nil {
+			return fmt.Errorf("occam: %v: %q is a scalar channel", ref.P, ref.Name)
+		}
+		return nil
+	case SymVecChan:
+		if ref.Index == nil {
+			return fmt.Errorf("occam: %v: channel vector %q needs a subscript", ref.P, ref.Name)
+		}
+		return a.expr(ref.Index)
+	default:
+		return fmt.Errorf("occam: %v: %q is a %s, not a channel", ref.P, ref.Name, s.Kind)
+	}
+}
+
+// expr resolves a value expression; channels are not values.
+func (a *analyzer) expr(e Expr) error {
+	switch n := e.(type) {
+	case *IntLit, *NowExpr:
+		return nil
+	case *UnaryExpr:
+		return a.expr(n.X)
+	case *BinExpr:
+		if err := a.expr(n.A); err != nil {
+			return err
+		}
+		return a.expr(n.B)
+	case *VarRef:
+		s, err := a.lookup(n.Name, n.P)
+		if err != nil {
+			return err
+		}
+		n.Sym = s
+		switch s.Kind {
+		case SymVar, SymDef, SymParamValue, SymParamVar:
+			if n.Index != nil {
+				return fmt.Errorf("occam: %v: %q is a scalar, not a vector", n.P, n.Name)
+			}
+			return nil
+		case SymVecVar, SymVecByteVar, SymParamVec:
+			if n.Index == nil {
+				return fmt.Errorf("occam: %v: vector %q needs a subscript in an expression", n.P, n.Name)
+			}
+			if err := a.byteAgreement(n, s); err != nil {
+				return err
+			}
+			return a.expr(n.Index)
+		default:
+			return fmt.Errorf("occam: %v: %s %q is not a value", n.P, s.Kind, n.Name)
+		}
+	}
+	return fmt.Errorf("occam: unknown expression node %T", e)
+}
+
+func (a *analyzer) call(c *Call) error {
+	s, err := a.lookup(c.Name, c.P)
+	if err != nil {
+		return err
+	}
+	if s.Kind != SymProc {
+		return fmt.Errorf("occam: %v: %q is a %s, not a proc", c.P, c.Name, s.Kind)
+	}
+	c.Sym = s
+	proc := s.Proc
+	if len(c.Args) != len(proc.Param) {
+		return fmt.Errorf("occam: %v: %q needs %d argument(s), got %d", c.P, c.Name, len(proc.Param), len(c.Args))
+	}
+	for i, arg := range c.Args {
+		param := proc.Param[i]
+		switch param.Mode {
+		case ParamValue:
+			if err := a.expr(arg); err != nil {
+				return err
+			}
+		case ParamVar:
+			ref, ok := arg.(*VarRef)
+			if !ok {
+				return fmt.Errorf("occam: %v: argument %d of %q must be a variable (var parameter)", c.P, i+1, c.Name)
+			}
+			if err := a.assignable(ref); err != nil {
+				return err
+			}
+			if ref.Index != nil {
+				return fmt.Errorf("occam: %v: var parameter %d of %q must be a scalar variable", c.P, i+1, c.Name)
+			}
+		case ParamVec:
+			ref, ok := arg.(*VarRef)
+			if !ok || ref.Index != nil {
+				return fmt.Errorf("occam: %v: argument %d of %q must be an unsubscripted vector", c.P, i+1, c.Name)
+			}
+			sym, err := a.lookup(ref.Name, ref.P)
+			if err != nil {
+				return err
+			}
+			ref.Sym = sym
+			if sym.Kind != SymVecVar && sym.Kind != SymParamVec {
+				return fmt.Errorf("occam: %v: argument %d of %q must be a word vector, got %s", c.P, i+1, c.Name, sym.Kind)
+			}
+		case ParamChan:
+			ref, ok := arg.(*VarRef)
+			if !ok {
+				return fmt.Errorf("occam: %v: argument %d of %q must be a channel", c.P, i+1, c.Name)
+			}
+			if err := a.channelRef(ref); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// constExpr folds a compile-time constant expression (def values, vector
+// sizes, replicator bounds when static).
+func (a *analyzer) constExpr(e Expr) (int32, error) {
+	switch n := e.(type) {
+	case *IntLit:
+		return n.V, nil
+	case *UnaryExpr:
+		v, err := a.constExpr(n.X)
+		if err != nil {
+			return 0, err
+		}
+		if n.Op == "-" {
+			return -v, nil
+		}
+		return ^v, nil
+	case *BinExpr:
+		va, err := a.constExpr(n.A)
+		if err != nil {
+			return 0, err
+		}
+		vb, err := a.constExpr(n.B)
+		if err != nil {
+			return 0, err
+		}
+		return EvalBinOp(n.Op, va, vb)
+	case *VarRef:
+		s, err := a.lookup(n.Name, n.P)
+		if err != nil {
+			return 0, err
+		}
+		if s.Kind != SymDef {
+			return 0, fmt.Errorf("%q is not a compile-time constant", n.Name)
+		}
+		n.Sym = s
+		return s.Value, nil
+	}
+	return 0, fmt.Errorf("expression is not a compile-time constant")
+}
+
+// EvalBinOp gives the word semantics of every binary operator; it is shared
+// with the compiler's constant folder.
+func EvalBinOp(op string, a, b int32) (int32, error) {
+	boolWord := func(v bool) int32 {
+		if v {
+			return -1
+		}
+		return 0
+	}
+	switch op {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return a / b, nil
+	case "\\":
+		if b == 0 {
+			return 0, fmt.Errorf("remainder by zero")
+		}
+		return a % b, nil
+	case "=":
+		return boolWord(a == b), nil
+	case "<>":
+		return boolWord(a != b), nil
+	case "<":
+		return boolWord(a < b), nil
+	case ">":
+		return boolWord(a > b), nil
+	case "<=":
+		return boolWord(a <= b), nil
+	case ">=":
+		return boolWord(a >= b), nil
+	case "and", "/\\":
+		return a & b, nil
+	case "or", "\\/":
+		return a | b, nil
+	case "><":
+		return a ^ b, nil
+	case "<<":
+		return a << (uint32(b) & 31), nil
+	case ">>":
+		return a >> (uint32(b) & 31), nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", op)
+}

@@ -1,0 +1,172 @@
+// Package occam implements the front end of the thesis's OCCAM compiler
+// (§4.3, §4.8): an indentation-aware scanner, a recursive-descent parser for
+// the proto-OCCAM subset the thesis compiles, and semantic analysis that
+// resolves names to unique symbols.
+//
+// The supported language:
+//
+//	declarations   var x, v[10]:   chan c, cs[4]:   def n = 8:
+//	               proc name(value a, var b, vec v, chan c) =
+//	                 <process>
+//	primitives     x := e    c ! e    c ? x    skip    wait now after e
+//	constructs     seq  par  if  while e  and the replicated forms
+//	               seq i = [e1 for e2]   par i = [e1 for e2]
+//	calls          name(e1, e2, ...)
+//
+// Expressions use words as the only data type (Booleans are all-ones/zero),
+// with operators + - * / \ (remainder), comparisons = <> < > <= >=, logical
+// and or not, bitwise /\ \/ >< << >>, unary -, the literals true and false,
+// and the real-time clock now. Conventional operator precedence is used
+// (proto-OCCAM required full parenthesization; accepting precedence is a
+// strict superset). Comments run from "--" to end of line.
+package occam
+
+import "fmt"
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokSymbol
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int32 // for tokNumber
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of line"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// line is one logical source line: its indentation column and its tokens.
+type line struct {
+	num    int
+	indent int
+	toks   []token
+}
+
+var keywords = map[string]bool{
+	"var": true, "chan": true, "def": true, "proc": true,
+	"seq": true, "par": true, "if": true, "while": true,
+	"for": true, "skip": true, "wait": true, "now": true, "after": true,
+	"value": true, "vec": true, "byte": true,
+	"true": true, "false": true, "and": true, "or": true, "not": true,
+}
+
+// twoCharSymbols are matched greedily before single characters.
+var twoCharSymbols = []string{":=", "<>", "<=", ">=", "<<", ">>", "/\\", "\\/", "><"}
+
+// scan splits source text into logical lines of tokens. Blank lines and
+// comment-only lines disappear; indentation is measured in spaces (a tab
+// counts as alignment to the next multiple of eight).
+func scan(src string) ([]line, error) {
+	var lines []line
+	lineNum := 0
+	for start := 0; start <= len(src); {
+		end := start
+		for end < len(src) && src[end] != '\n' {
+			end++
+		}
+		raw := src[start:end]
+		lineNum++
+		l, err := scanLine(raw, lineNum)
+		if err != nil {
+			return nil, err
+		}
+		if l != nil {
+			lines = append(lines, *l)
+		}
+		start = end + 1
+		if end >= len(src) {
+			break
+		}
+	}
+	return lines, nil
+}
+
+func scanLine(raw string, num int) (*line, error) {
+	indent := 0
+	i := 0
+	for ; i < len(raw); i++ {
+		switch raw[i] {
+		case ' ':
+			indent++
+		case '\t':
+			indent = (indent/8 + 1) * 8
+		default:
+			goto body
+		}
+	}
+body:
+	l := &line{num: num, indent: indent}
+	for i < len(raw) {
+		c := raw[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(raw) && raw[i+1] == '-':
+			i = len(raw) // comment
+		case isDigit(c):
+			start := i
+			for i < len(raw) && isDigit(raw[i]) {
+				i++
+			}
+			var v int64
+			for _, d := range raw[start:i] {
+				v = v*10 + int64(d-'0')
+				if v > 1<<32 {
+					return nil, fmt.Errorf("occam: line %d: number %q too large", num, raw[start:i])
+				}
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: raw[start:i], val: int32(v), col: start})
+		case isIdentStart(c):
+			start := i
+			for i < len(raw) && isIdentChar(raw[i]) {
+				i++
+			}
+			text := raw[start:i]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			l.toks = append(l.toks, token{kind: kind, text: text, col: start})
+		default:
+			matched := false
+			for _, sym := range twoCharSymbols {
+				if len(raw)-i >= 2 && raw[i:i+2] == sym {
+					l.toks = append(l.toks, token{kind: tokSymbol, text: sym, col: i})
+					i += 2
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			switch c {
+			case '+', '-', '*', '/', '\\', '=', '<', '>', '(', ')', '[', ']', ',', ':', '!', '?':
+				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), col: i})
+				i++
+			default:
+				return nil, fmt.Errorf("occam: line %d: unexpected character %q", num, c)
+			}
+		}
+	}
+	if len(l.toks) == 0 {
+		return nil, nil
+	}
+	return l, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '.' }

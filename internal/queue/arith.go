@@ -1,0 +1,185 @@
+package queue
+
+import (
+	"fmt"
+	"strconv"
+
+	"queuemachine/internal/bintree"
+)
+
+// Env maps leaf names of an expression parse tree to their integer values.
+// Leaves whose labels parse as integers are treated as literals and need not
+// appear in the environment.
+type Env map[string]int64
+
+// arith returns the integer semantics of the operator labels used by
+// bintree.ParseExpr.
+func arith(label string) (func(args []int64) (int64, error), bool) {
+	bin := func(f func(a, b int64) (int64, error)) func([]int64) (int64, error) {
+		return func(args []int64) (int64, error) { return f(args[0], args[1]) }
+	}
+	switch label {
+	case "+":
+		return bin(func(a, b int64) (int64, error) { return a + b, nil }), true
+	case "-":
+		return bin(func(a, b int64) (int64, error) { return a - b, nil }), true
+	case "*":
+		return bin(func(a, b int64) (int64, error) { return a * b, nil }), true
+	case "/":
+		return bin(func(a, b int64) (int64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return a / b, nil
+		}), true
+	case "%":
+		return bin(func(a, b int64) (int64, error) {
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			return a % b, nil
+		}), true
+	case "neg":
+		return func(args []int64) (int64, error) { return -args[0], nil }, true
+	}
+	return nil, false
+}
+
+// nodeInstr builds the numeric instruction for a single parse-tree node.
+func nodeInstr(n *bintree.Node, env Env) (Instr[int64], error) {
+	if n.Arity() == 0 {
+		if v, err := strconv.ParseInt(n.Label, 10, 64); err == nil {
+			return Instr[int64]{
+				Label: n.Label,
+				Apply: func([]int64) (int64, error) { return v, nil },
+			}, nil
+		}
+		name := n.Label
+		return Instr[int64]{
+			Label: "fetch " + name,
+			Apply: func([]int64) (int64, error) {
+				v, ok := env[name]
+				if !ok {
+					return 0, fmt.Errorf("unbound variable %q", name)
+				}
+				return v, nil
+			},
+		}, nil
+	}
+	apply, ok := arith(n.Label)
+	if !ok {
+		return Instr[int64]{}, fmt.Errorf("queue: unknown operator %q", n.Label)
+	}
+	return Instr[int64]{Label: n.Label, Arity: n.Arity(), Apply: apply}, nil
+}
+
+// CompileTree translates a node ordering of an expression parse tree (such
+// as a level-order traversal for queue execution or a post-order traversal
+// for stack execution) into an executable instruction sequence with integer
+// semantics.
+func CompileTree(order []*bintree.Node, env Env) ([]Instr[int64], error) {
+	seq := make([]Instr[int64], len(order))
+	for i, n := range order {
+		in, err := nodeInstr(n, env)
+		if err != nil {
+			return nil, err
+		}
+		seq[i] = in
+	}
+	return seq, nil
+}
+
+// CompileTreeSymbolic translates a node ordering into an instruction
+// sequence over strings: each operator builds the infix rendering of its
+// result. Evaluating a symbolic sequence reproduces the queue- and
+// stack-contents columns of Table 3.1.
+func CompileTreeSymbolic(order []*bintree.Node) []Instr[string] {
+	seq := make([]Instr[string], len(order))
+	for i, n := range order {
+		n := n
+		switch n.Arity() {
+		case 0:
+			seq[i] = Instr[string]{
+				Label: "fetch " + n.Label,
+				Apply: func([]string) (string, error) { return n.Label, nil },
+			}
+		case 1:
+			seq[i] = Instr[string]{
+				Label: opMnemonic(n.Label),
+				Arity: 1,
+				Apply: func(args []string) (string, error) {
+					return "(-" + args[0] + ")", nil
+				},
+			}
+		default:
+			seq[i] = Instr[string]{
+				Label: opMnemonic(n.Label),
+				Arity: 2,
+				Apply: func(args []string) (string, error) {
+					return "(" + args[0] + n.Label + args[1] + ")", nil
+				},
+			}
+		}
+	}
+	return seq
+}
+
+func opMnemonic(label string) string {
+	switch label {
+	case "+":
+		return "add"
+	case "-":
+		return "sub"
+	case "*":
+		return "mul"
+	case "/":
+		return "div"
+	case "%":
+		return "rem"
+	case "neg":
+		return "neg"
+	}
+	return label
+}
+
+// EvalTree evaluates the parse tree directly by recursive descent; the
+// reference semantics against which the queue and stack machines are tested.
+func EvalTree(n *bintree.Node, env Env) (int64, error) {
+	if n == nil {
+		return 0, fmt.Errorf("queue: nil tree")
+	}
+	switch n.Arity() {
+	case 0:
+		if v, err := strconv.ParseInt(n.Label, 10, 64); err == nil {
+			return v, nil
+		}
+		v, ok := env[n.Label]
+		if !ok {
+			return 0, fmt.Errorf("unbound variable %q", n.Label)
+		}
+		return v, nil
+	case 1:
+		v, err := EvalTree(n.Left, env)
+		if err != nil {
+			return 0, err
+		}
+		if n.Label != "neg" {
+			return 0, fmt.Errorf("queue: unknown unary operator %q", n.Label)
+		}
+		return -v, nil
+	default:
+		a, err := EvalTree(n.Left, env)
+		if err != nil {
+			return 0, err
+		}
+		b, err := EvalTree(n.Right, env)
+		if err != nil {
+			return 0, err
+		}
+		apply, ok := arith(n.Label)
+		if !ok {
+			return 0, fmt.Errorf("queue: unknown operator %q", n.Label)
+		}
+		return apply([]int64{a, b})
+	}
+}

@@ -1,0 +1,125 @@
+package queue
+
+import "fmt"
+
+// IndexedInstr is one instruction of an indexed queue machine program: an
+// operator together with the set of result indices P_i. Each index is an
+// offset from the front of the operand queue *after* the instruction's
+// operands have been removed; the result is duplicated into every indexed
+// slot. An empty index set discards the result (legal for instructions
+// executed purely for effect).
+type IndexedInstr[T any] struct {
+	Instr[T]
+	Offsets []int
+}
+
+// IndexedState is a snapshot of an indexed queue machine: the conceptual
+// queue slots from the current front onward. Slots that have not yet
+// received a value hold the machine's "ε" mark and are reported via Present.
+type IndexedState[T any] struct {
+	Instr    string
+	Front    int // r, the index of the queue front in the conceptual array
+	Slots    []T
+	Present  []bool
+	Consumed int
+}
+
+// EvalIndexed evaluates an indexed queue machine instruction sequence
+// according to the state-transition semantics of §3.5. It returns the
+// remaining queue contents (from the final front onward, trimmed of empty
+// tail slots). Reading a slot that holds no value — a "hole" in the queue —
+// is an error: the thesis requires valid sequences never to create one.
+func EvalIndexed[T any](seq []IndexedInstr[T]) ([]T, error) {
+	q, err := runIndexed(seq, nil)
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// TraceIndexed evaluates like EvalIndexed while recording the queue state
+// after every instruction, reproducing the trace of Table 3.4.
+func TraceIndexed[T any](seq []IndexedInstr[T]) ([]IndexedState[T], []T, error) {
+	states := make([]IndexedState[T], 0, len(seq))
+	q, err := runIndexed(seq, &states)
+	return states, q, err
+}
+
+func runIndexed[T any](seq []IndexedInstr[T], trace *[]IndexedState[T]) ([]T, error) {
+	var (
+		slots   []T
+		present []bool
+		front   int
+	)
+	ensure := func(idx int) {
+		for len(slots) <= idx {
+			var zero T
+			slots = append(slots, zero)
+			present = append(present, false)
+		}
+	}
+	for i, in := range seq {
+		args := make([]T, in.Arity)
+		for a := 0; a < in.Arity; a++ {
+			idx := front + a
+			if idx >= len(slots) || !present[idx] {
+				return nil, fmt.Errorf("queue: instruction %d (%s) reads empty queue slot %d (hole in the queue)", i, in.Label, idx)
+			}
+			args[a] = slots[idx]
+			present[idx] = false
+		}
+		front += in.Arity
+		res, err := in.Apply(args)
+		if err != nil {
+			return nil, fmt.Errorf("queue: instruction %d (%s): %w", i, in.Label, err)
+		}
+		for _, off := range in.Offsets {
+			if off < 0 {
+				return nil, fmt.Errorf("queue: instruction %d (%s) has negative result offset %d", i, in.Label, off)
+			}
+			idx := front + off
+			ensure(idx)
+			if present[idx] {
+				return nil, fmt.Errorf("queue: instruction %d (%s) overwrites live queue slot %d", i, in.Label, idx)
+			}
+			slots[idx] = res
+			present[idx] = true
+		}
+		if trace != nil {
+			*trace = append(*trace, IndexedState[T]{
+				Instr:    in.Label,
+				Front:    front,
+				Slots:    append([]T(nil), slots[min(front, len(slots)):]...),
+				Present:  append([]bool(nil), present[min(front, len(slots)):]...),
+				Consumed: in.Arity,
+			})
+		}
+	}
+	// Collect the remaining live values from the front onward.
+	var out []T
+	for idx := front; idx < len(slots); idx++ {
+		if present[idx] {
+			out = append(out, slots[idx])
+		}
+	}
+	return out, nil
+}
+
+// MaxQueueIndex reports the largest conceptual queue index that evaluating
+// seq would touch, i.e. the queue page capacity the sequence requires. It
+// performs the index arithmetic without evaluating operator functions.
+func MaxQueueIndex[T any](seq []IndexedInstr[T]) int {
+	front, maxIdx := 0, -1
+	for _, in := range seq {
+		if in.Arity > 0 && front+in.Arity-1 > maxIdx {
+			maxIdx = front + in.Arity - 1
+		}
+		front += in.Arity
+		for _, off := range in.Offsets {
+			if front+off > maxIdx {
+				maxIdx = front + off
+			}
+		}
+	}
+	return maxIdx
+}

@@ -1,0 +1,167 @@
+// Package queue implements the abstract execution models of Chapter 3 of
+// "Data Flow on a Queue Machine": the simple queue machine, the indexed
+// queue machine, and (for comparison) the classical stack machine.
+//
+// The simple queue machine removes the operands of every instruction from
+// the front of a FIFO operand queue and appends the result at the rear. The
+// indexed queue machine generalizes the result placement: each instruction
+// carries a set of result indices, interpreted as offsets from the front of
+// the queue after the instruction's operands have been removed, and the
+// result is duplicated into each indexed slot. Operands are still consumed
+// only from the front. Chapter 3 proves that level-order traversals of
+// expression parse trees are valid simple-queue sequences and that acyclic
+// data-flow graphs generate valid indexed-queue sequences; the evaluators
+// here are the executable counterparts of those proofs.
+package queue
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Instr is one instruction of an abstract machine program: an operator with
+// a fixed arity and an evaluation function. The type parameter T is the
+// operand domain — int64 for numeric evaluation, string for the symbolic
+// traces printed in the thesis's Table 3.1.
+type Instr[T any] struct {
+	Label string
+	Arity int
+	Apply func(args []T) (T, error)
+}
+
+// State is a snapshot of a machine during evaluation, recorded after an
+// instruction has executed: the instruction and the queue (or stack)
+// contents from front (or top) to rear (or bottom).
+type State[T any] struct {
+	Instr    string
+	Contents []T
+}
+
+// EvalSimple evaluates the instruction sequence on a simple queue machine
+// and returns the final value. The evaluation must end with exactly one
+// element in the operand queue; anything else indicates the sequence was not
+// a well-formed expression program.
+func EvalSimple[T any](seq []Instr[T]) (T, error) {
+	var zero T
+	q, err := runSimple(seq, nil)
+	if err != nil {
+		return zero, err
+	}
+	if len(q) != 1 {
+		return zero, fmt.Errorf("queue: evaluation left %d values in the queue, want 1", len(q))
+	}
+	return q[0], nil
+}
+
+// TraceSimple evaluates the sequence like EvalSimple but also records the
+// queue contents after every instruction, reproducing the execution traces
+// of Table 3.1.
+func TraceSimple[T any](seq []Instr[T]) ([]State[T], T, error) {
+	var zero T
+	states := make([]State[T], 0, len(seq))
+	q, err := runSimple(seq, &states)
+	if err != nil {
+		return states, zero, err
+	}
+	if len(q) != 1 {
+		return states, zero, fmt.Errorf("queue: evaluation left %d values in the queue, want 1", len(q))
+	}
+	return states, q[0], nil
+}
+
+func runSimple[T any](seq []Instr[T], trace *[]State[T]) ([]T, error) {
+	var q []T
+	for i, in := range seq {
+		if in.Arity > len(q) {
+			return nil, fmt.Errorf("queue: instruction %d (%s) needs %d operands, queue holds %d", i, in.Label, in.Arity, len(q))
+		}
+		args := q[:in.Arity]
+		res, err := in.Apply(args)
+		if err != nil {
+			return nil, fmt.Errorf("queue: instruction %d (%s): %w", i, in.Label, err)
+		}
+		q = append(q[in.Arity:], res)
+		if trace != nil {
+			*trace = append(*trace, State[T]{Instr: in.Label, Contents: append([]T(nil), q...)})
+		}
+	}
+	return q, nil
+}
+
+// EvalStack evaluates the instruction sequence on a stack machine: operands
+// are popped from the top of the stack and the result is pushed back. The
+// evaluation must end with exactly one element on the stack.
+func EvalStack[T any](seq []Instr[T]) (T, error) {
+	var zero T
+	var s []T
+	for i, in := range seq {
+		if in.Arity > len(s) {
+			return zero, fmt.Errorf("queue: stack instruction %d (%s) needs %d operands, stack holds %d", i, in.Label, in.Arity, len(s))
+		}
+		// Operands pop in push order: for a binary op the deeper element
+		// is the left operand, matching post-order code generation.
+		args := append([]T(nil), s[len(s)-in.Arity:]...)
+		s = s[:len(s)-in.Arity]
+		res, err := in.Apply(args)
+		if err != nil {
+			return zero, fmt.Errorf("queue: stack instruction %d (%s): %w", i, in.Label, err)
+		}
+		s = append(s, res)
+	}
+	if len(s) != 1 {
+		return zero, fmt.Errorf("queue: evaluation left %d values on the stack, want 1", len(s))
+	}
+	return s[0], nil
+}
+
+// TraceStack evaluates like EvalStack, recording the stack contents (top
+// first, as printed in Table 3.1) after every instruction.
+func TraceStack[T any](seq []Instr[T]) ([]State[T], T, error) {
+	var zero T
+	var s []T
+	states := make([]State[T], 0, len(seq))
+	for i, in := range seq {
+		if in.Arity > len(s) {
+			return states, zero, fmt.Errorf("queue: stack instruction %d (%s) needs %d operands, stack holds %d", i, in.Label, in.Arity, len(s))
+		}
+		args := append([]T(nil), s[len(s)-in.Arity:]...)
+		s = s[:len(s)-in.Arity]
+		res, err := in.Apply(args)
+		if err != nil {
+			return states, zero, fmt.Errorf("queue: stack instruction %d (%s): %w", i, in.Label, err)
+		}
+		s = append(s, res)
+		top := make([]T, len(s))
+		for j := range s {
+			top[j] = s[len(s)-1-j]
+		}
+		states = append(states, State[T]{Instr: in.Label, Contents: top})
+	}
+	if len(s) != 1 {
+		return states, zero, fmt.Errorf("queue: evaluation left %d values on the stack, want 1", len(s))
+	}
+	return states, s[0], nil
+}
+
+// FormatTrace renders a recorded trace as aligned text, one line per
+// instruction, in the style of Table 3.1.
+func FormatTrace[T any](states []State[T]) string {
+	var b strings.Builder
+	width := 0
+	for _, s := range states {
+		if len(s.Instr) > width {
+			width = len(s.Instr)
+		}
+	}
+	for _, s := range states {
+		fmt.Fprintf(&b, "%-*s  ", width, s.Instr)
+		for i, v := range s.Contents {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%v", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,299 @@
+package queue
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"queuemachine/internal/bintree"
+)
+
+var table31Env = Env{"a": 7, "b": 3, "c": 20, "d": 6, "e": 2}
+
+// TestTable31 reproduces Table 3.1: both the queue-machine (level-order) and
+// stack-machine (post-order) sequences evaluate f := a*b + (c-d)/e to the
+// same value, and the instruction sequences are permutations of one another.
+func TestTable31(t *testing.T) {
+	tree := bintree.MustParseExpr("a*b + (c-d)/e")
+	want, err := EvalTree(tree, table31Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != 7*3+(20-6)/2 {
+		t.Fatalf("reference value = %d", want)
+	}
+
+	queueSeq, err := CompileTree(bintree.LevelOrder(tree), table31Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stackSeq, err := CompileTree(bintree.PostOrder(tree), table31Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queueSeq) != len(stackSeq) {
+		t.Errorf("sequence lengths differ: %d vs %d", len(queueSeq), len(stackSeq))
+	}
+
+	qv, err := EvalSimple(queueSeq)
+	if err != nil {
+		t.Fatalf("queue eval: %v", err)
+	}
+	sv, err := EvalStack(stackSeq)
+	if err != nil {
+		t.Fatalf("stack eval: %v", err)
+	}
+	if qv != want || sv != want {
+		t.Errorf("queue = %d, stack = %d, want %d", qv, sv, want)
+	}
+
+	// The queue sequence is a permutation of the stack sequence.
+	count := map[string]int{}
+	for _, in := range queueSeq {
+		count[in.Label]++
+	}
+	for _, in := range stackSeq {
+		count[in.Label]--
+	}
+	for label, c := range count {
+		if c != 0 {
+			t.Errorf("instruction %q count differs by %d between sequences", label, c)
+		}
+	}
+}
+
+// TestTable31SymbolicTrace checks the symbolic queue-contents column of
+// Table 3.1 instruction by instruction.
+func TestTable31SymbolicTrace(t *testing.T) {
+	tree := bintree.MustParseExpr("a*b + (c-d)/e")
+	seq := CompileTreeSymbolic(bintree.LevelOrder(tree))
+	states, final, err := TraceSimple(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != "((a*b)+((c-d)/e))" {
+		t.Errorf("final = %q", final)
+	}
+	wantQueues := [][]string{
+		{"c"},
+		{"c", "d"},
+		{"c", "d", "a"},
+		{"c", "d", "a", "b"},
+		{"a", "b", "(c-d)"},
+		{"a", "b", "(c-d)", "e"},
+		{"(c-d)", "e", "(a*b)"},
+		{"(a*b)", "((c-d)/e)"},
+		{"((a*b)+((c-d)/e))"},
+	}
+	if len(states) != len(wantQueues) {
+		t.Fatalf("trace has %d states, want %d", len(states), len(wantQueues))
+	}
+	for i, want := range wantQueues {
+		if !reflect.DeepEqual(states[i].Contents, want) {
+			t.Errorf("state %d (%s): queue = %v, want %v", i, states[i].Instr, states[i].Contents, want)
+		}
+	}
+}
+
+func TestTraceStackSymbolic(t *testing.T) {
+	tree := bintree.MustParseExpr("a*b + (c-d)/e")
+	seq := CompileTreeSymbolic(bintree.PostOrder(tree))
+	states, final, err := TraceStack(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final != "((a*b)+((c-d)/e))" {
+		t.Errorf("final = %q", final)
+	}
+	// Spot-check a Table 3.1 stack state: after "sub" the stack holds
+	// (c-d) above (a*b).
+	if got := states[5].Contents; !reflect.DeepEqual(got, []string{"(c-d)", "(a*b)"}) {
+		t.Errorf("stack after sub = %v", got)
+	}
+}
+
+func TestEvalSimpleUnderflow(t *testing.T) {
+	seq := []Instr[int64]{{Label: "add", Arity: 2, Apply: func(a []int64) (int64, error) { return a[0] + a[1], nil }}}
+	if _, err := EvalSimple(seq); err == nil {
+		t.Error("expected underflow error")
+	}
+	if _, err := EvalStack(seq); err == nil {
+		t.Error("expected stack underflow error")
+	}
+}
+
+func TestEvalSimpleLeftover(t *testing.T) {
+	lit := func(v int64) Instr[int64] {
+		return Instr[int64]{Label: "lit", Apply: func([]int64) (int64, error) { return v, nil }}
+	}
+	if _, err := EvalSimple([]Instr[int64]{lit(1), lit(2)}); err == nil {
+		t.Error("expected leftover-values error")
+	}
+	if _, err := EvalStack([]Instr[int64]{lit(1), lit(2)}); err == nil {
+		t.Error("expected leftover-values error on stack")
+	}
+}
+
+func TestEvalErrorsPropagate(t *testing.T) {
+	tree := bintree.MustParseExpr("a/b")
+	seq, err := CompileTree(bintree.LevelOrder(tree), Env{"a": 1, "b": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalSimple(seq); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("want division-by-zero error, got %v", err)
+	}
+	if _, err := EvalTree(tree, Env{"a": 1, "b": 0}); err == nil {
+		t.Error("EvalTree should report division by zero")
+	}
+}
+
+func TestUnboundVariable(t *testing.T) {
+	tree := bintree.MustParseExpr("x+y")
+	seq, err := CompileTree(bintree.LevelOrder(tree), Env{"x": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EvalSimple(seq); err == nil {
+		t.Error("want unbound-variable error")
+	}
+}
+
+// TestQueueMatchesDirectEval is the executable form of the Chapter 3 theorem:
+// for randomly generated expression parse trees, evaluating the level-order
+// sequence on a simple queue machine gives the same result as direct
+// recursive evaluation (and the post-order sequence on a stack machine
+// agrees too).
+func TestQueueMatchesDirectEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tree := randomExprTree(r, 1+r.Intn(25))
+		env := Env{}
+		var collect func(*bintree.Node)
+		collect = func(n *bintree.Node) {
+			if n == nil {
+				return
+			}
+			if n.Arity() == 0 {
+				env[n.Label] = int64(r.Intn(41) - 20)
+			}
+			collect(n.Left)
+			collect(n.Right)
+		}
+		collect(tree)
+
+		want, err := EvalTree(tree, env)
+		if err != nil {
+			t.Fatalf("EvalTree: %v", err)
+		}
+		qseq, err := CompileTree(bintree.LevelOrder(tree), env)
+		if err != nil {
+			t.Fatalf("CompileTree: %v", err)
+		}
+		got, err := EvalSimple(qseq)
+		if err != nil {
+			t.Fatalf("EvalSimple(%s): %v", bintree.Infix(tree), err)
+		}
+		sseq, err := CompileTree(bintree.PostOrder(tree), env)
+		if err != nil {
+			t.Fatalf("CompileTree: %v", err)
+		}
+		sgot, err := EvalStack(sseq)
+		if err != nil {
+			t.Fatalf("EvalStack(%s): %v", bintree.Infix(tree), err)
+		}
+		return got == want && sgot == want
+	}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomExprTree builds a random parse tree using only total operators
+// (+, -, *, neg) so every environment evaluates successfully.
+func randomExprTree(rng *rand.Rand, n int) *bintree.Node {
+	leafCount := 0
+	ops := []string{"+", "-", "*"}
+	var build func(n int) *bintree.Node
+	build = func(n int) *bintree.Node {
+		switch {
+		case n <= 1:
+			leafCount++
+			return bintree.Leaf("v" + string(rune('a'+leafCount%26)) + itoa(leafCount))
+		case n == 2 || rng.Intn(3) == 0:
+			return bintree.Unary("neg", build(n-1))
+		default:
+			left := 1 + rng.Intn(n-2)
+			return bintree.Binary(ops[rng.Intn(len(ops))], build(left), build(n-1-left))
+		}
+	}
+	return build(n)
+}
+
+func itoa(v int) string {
+	var b []byte
+	if v == 0 {
+		return "0"
+	}
+	for ; v > 0; v /= 10 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+	}
+	return string(b)
+}
+
+func TestFormatTrace(t *testing.T) {
+	tree := bintree.MustParseExpr("a+b")
+	seq := CompileTreeSymbolic(bintree.LevelOrder(tree))
+	states, _, err := TraceSimple(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTrace(states)
+	if !strings.Contains(out, "fetch a") || !strings.Contains(out, "(a+b)") {
+		t.Errorf("FormatTrace output unexpected:\n%s", out)
+	}
+}
+
+func TestCompileTreeUnknownOperator(t *testing.T) {
+	bad := bintree.Binary("??", bintree.Leaf("x"), bintree.Leaf("y"))
+	if _, err := CompileTree(bintree.LevelOrder(bad), Env{"x": 1, "y": 2}); err == nil {
+		t.Error("want unknown-operator error")
+	}
+	if _, err := EvalTree(bad, Env{"x": 1, "y": 2}); err == nil {
+		t.Error("EvalTree should reject unknown operator")
+	}
+	badU := bintree.Unary("??", bintree.Leaf("x"))
+	if _, err := EvalTree(badU, Env{"x": 1}); err == nil {
+		t.Error("EvalTree should reject unknown unary operator")
+	}
+}
+
+func TestLiteralLeaves(t *testing.T) {
+	tree := bintree.MustParseExpr("2*21")
+	seq, err := CompileTree(bintree.LevelOrder(tree), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvalSimple(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("2*21 = %d", got)
+	}
+}
+
+func TestModulo(t *testing.T) {
+	tree := bintree.MustParseExpr("a%b")
+	want, err := EvalTree(tree, Env{"a": 17, "b": 5})
+	if err != nil || want != 2 {
+		t.Fatalf("EvalTree = %d, %v", want, err)
+	}
+	if _, err := EvalTree(tree, Env{"a": 17, "b": 0}); err == nil {
+		t.Error("mod by zero should error")
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import "container/heap"
+
+// eventKind discriminates the simulator's event types.
+type eventKind int
+
+const (
+	// evStep: a processing element executes its running context's next
+	// instruction.
+	evStep eventKind = iota
+	// evChanReq: a channel operation request arrives at its home message
+	// processor.
+	evChanReq
+	// evRecvDone: a rendezvous value arrives at a blocked receiver.
+	evRecvDone
+	// evSendDone: a rendezvous acknowledgement arrives at a blocked
+	// sender.
+	evSendDone
+	// evWake: a context's real-time wait expires.
+	evWake
+	// evKick: a processing element should try to dispatch a context.
+	evKick
+)
+
+type chanOp int
+
+const (
+	opSend chanOp = iota
+	opRecv
+)
+
+type event struct {
+	time int64
+	seq  uint64
+	kind eventKind
+
+	pe  int // processing element concerned (evStep, evKick, deliveries)
+	ctx int // context id
+	src int // requesting processing element (evChanReq)
+
+	// Channel request payload.
+	op  chanOp
+	ch  int32
+	val int32
+}
+
+// eventQueue is a deterministic min-heap ordered by (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+var _ heap.Interface = (*eventQueue)(nil)

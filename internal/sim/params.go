@@ -1,0 +1,77 @@
+// Package sim is the queue machine multiprocessor simulator of Chapter 6: a
+// deterministic discrete-event simulation of N queue-machine processing
+// elements, each with a message processor and channel cache, joined by a
+// partitioned ring bus and managed by the multiprocessing kernel. It
+// executes object programs produced by the OCCAM compiler (or the
+// assembler) and reports the run statistics of Tables 6.2–6.5.
+package sim
+
+import (
+	"queuemachine/internal/pe"
+	"queuemachine/internal/ring"
+)
+
+// Params collects every architectural timing constant of the simulated
+// system. The defaults model the thesis's three-stage-pipeline processing
+// element with a lean software kernel and dedicated message processors.
+type Params struct {
+	PE   pe.Params
+	Ring ring.Params
+	// Partitions is the number of ring bus partitions; 0 selects the
+	// largest legal count with two processing elements per partition
+	// (the Figure 5.18 configuration).
+	Partitions int
+	// MsgCacheEntries is the per-message-processor channel cache size.
+	MsgCacheEntries int
+	// MPCycles is the message processor's base cost per operation.
+	MPCycles int64
+	// MPMissPenalty is the extra cost when the channel entry must be
+	// reloaded from (or spilled to) memory.
+	MPMissPenalty int64
+	// ForkCycles is the kernel's context-creation service time beyond
+	// the trap overhead.
+	ForkCycles int64
+	// Resume is the cost of resuming the context whose window registers
+	// are still loaded (no roll-out was needed).
+	Resume int64
+	// StoreBroadcast is the extra cost of a data-memory write: the data
+	// segment is replicated in every processing element's local memory
+	// under the multiple-readers/single-writer discipline (§4.6), so
+	// reads are local and writes update every copy over the bus.
+	StoreBroadcast int64
+	// MaxCycles and MaxInstructions bound runaway simulations.
+	MaxCycles       int64
+	MaxInstructions int64
+}
+
+// DefaultParams is the configuration used for all Chapter 6 experiments.
+func DefaultParams() Params {
+	return Params{
+		PE:              pe.DefaultParams(),
+		Ring:            ring.DefaultParams(),
+		MsgCacheEntries: 64,
+		MPCycles:        3,
+		MPMissPenalty:   8,
+		ForkCycles:      20,
+		Resume:          2,
+		StoreBroadcast:  2,
+		MaxCycles:       2_000_000_000,
+		MaxInstructions: 500_000_000,
+	}
+}
+
+// defaultPartitions picks the Figure 5.18 layout: two processing elements
+// per partition where the count divides evenly, otherwise the largest
+// divisor that keeps at least two per partition (a single shared bus for
+// small or prime machine sizes).
+func defaultPartitions(numPEs int) int {
+	if numPEs < 4 {
+		return 1
+	}
+	for p := numPEs / 2; p > 1; p-- {
+		if numPEs%p == 0 {
+			return p
+		}
+	}
+	return 1
+}

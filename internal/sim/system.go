@@ -1,0 +1,455 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"queuemachine/internal/isa"
+	"queuemachine/internal/kernel"
+	"queuemachine/internal/mcache"
+	"queuemachine/internal/pe"
+	"queuemachine/internal/ring"
+)
+
+// Result reports one simulated run.
+type Result struct {
+	Cycles       int64
+	NumPEs       int
+	Instructions int64
+	PEStats      []pe.Stats
+	Kernel       kernel.Stats
+	Ring         ring.Stats
+	Cache        mcache.Stats
+	// Switches and Resumes count context dispatches with and without a
+	// window roll-out; RolledRegisters totals the registers rolled out.
+	Switches, Resumes, RolledRegisters int64
+	MemReads, MemWrites                int64
+	// Data is the final contents of the static data segment, for result
+	// verification.
+	Data []int32
+}
+
+// AvgQueueLength reports the mean operand-queue span per executed
+// instruction across the machine (§5.2's page-utilization measure).
+func (r *Result) AvgQueueLength() float64 {
+	var sum, n int64
+	for _, s := range r.PEStats {
+		sum += s.QueueSum
+		n += s.Instructions
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Utilization reports the mean fraction of cycles the processing elements
+// spent executing instructions.
+func (r *Result) Utilization() float64 {
+	if r.Cycles == 0 || len(r.PEStats) == 0 {
+		return 0
+	}
+	var busy int64
+	for _, s := range r.PEStats {
+		busy += s.Cycles
+	}
+	return float64(busy) / float64(r.Cycles*int64(len(r.PEStats)))
+}
+
+// System is one configured multiprocessor simulation.
+type System struct {
+	prog     *pe.Program
+	numPEs   int
+	p        Params
+	kern     *kernel.Kernel
+	bus      *ring.Ring
+	caches   []*mcache.Cache
+	mpFree   []int64
+	machines []*pe.Machine
+	mem      *replicatedMemory
+
+	q   eventQueue
+	now int64
+	seq uint64
+
+	running []*pe.Context
+	lastCtx []*pe.Context // context whose window registers are loaded
+
+	switches, resumes, rolledRegs int64
+	instructions                  int64
+	endTime                       int64
+	finished                      bool
+	err                           error
+}
+
+// New builds a simulation of the object program on numPEs processing
+// elements.
+func New(obj *isa.Object, numPEs int, params Params) (*System, error) {
+	if numPEs < 1 {
+		return nil, fmt.Errorf("sim: need at least one processing element")
+	}
+	prog, err := pe.LoadProgram(obj)
+	if err != nil {
+		return nil, err
+	}
+	partitions := params.Partitions
+	if partitions == 0 {
+		partitions = defaultPartitions(numPEs)
+	}
+	bus, err := ring.New(numPEs, partitions, params.Ring)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		prog:     prog,
+		numPEs:   numPEs,
+		p:        params,
+		kern:     kernel.New(numPEs),
+		bus:      bus,
+		caches:   make([]*mcache.Cache, numPEs),
+		mpFree:   make([]int64, numPEs),
+		machines: make([]*pe.Machine, numPEs),
+		mem:      newReplicatedMemory(obj.DataWords, params.StoreBroadcast),
+		running:  make([]*pe.Context, numPEs),
+		lastCtx:  make([]*pe.Context, numPEs),
+	}
+	s.mem.load(obj)
+	for i := 0; i < numPEs; i++ {
+		s.caches[i] = mcache.New(params.MsgCacheEntries)
+		s.machines[i] = pe.NewMachine(i, params.PE, prog, s.mem)
+	}
+	return s, nil
+}
+
+// Run executes the program to completion and returns the run statistics.
+func Run(obj *isa.Object, numPEs int, params Params) (*Result, error) {
+	s, err := New(obj, numPEs, params)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// Run drives the event loop until every context has terminated.
+func (s *System) Run() (*Result, error) {
+	// The initial context executes the entry graph on the least-loaded
+	// (hence first) processing element, with fresh in/out channels.
+	main, target := s.kern.CreateContext(s.prog.Obj.Entry, s.prog.QueueWords(s.prog.Obj.Entry), -1, 0)
+	main.SetChannels(s.kern.AllocChannel(), s.kern.AllocChannel())
+	s.scheduleKick(target, 0)
+
+	for len(s.q) > 0 && !s.finished && s.err == nil {
+		e := heap.Pop(&s.q).(*event)
+		s.now = e.time
+		if s.now > s.p.MaxCycles {
+			s.err = fmt.Errorf("sim: exceeded %d cycles", s.p.MaxCycles)
+			break
+		}
+		switch e.kind {
+		case evStep:
+			s.handleStep(e)
+		case evChanReq:
+			s.handleChanReq(e)
+		case evRecvDone:
+			s.handleRecvDone(e)
+		case evSendDone:
+			s.handleSendDone(e)
+		case evWake:
+			s.handleWake(e)
+		case evKick:
+			s.dispatch(e.pe)
+		}
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.finished {
+		return nil, fmt.Errorf("sim: deadlock with %d live contexts:\n%s",
+			s.kern.Live(), strings.Join(s.kern.Snapshot(), "\n"))
+	}
+	res := &Result{
+		Cycles:          s.endTime,
+		NumPEs:          s.numPEs,
+		Kernel:          s.kern.Stats,
+		Ring:            s.bus.Stats,
+		Switches:        s.switches,
+		Resumes:         s.resumes,
+		RolledRegisters: s.rolledRegs,
+		MemReads:        s.mem.Reads,
+		MemWrites:       s.mem.Writes,
+		Data:            append([]int32(nil), s.mem.words...),
+	}
+	for _, m := range s.machines {
+		res.PEStats = append(res.PEStats, m.Stats)
+		res.Instructions += m.Stats.Instructions
+	}
+	for _, c := range s.caches {
+		res.Cache.Sends += c.Stats.Sends
+		res.Cache.Receives += c.Stats.Receives
+		res.Cache.FetchPhis += c.Stats.FetchPhis
+		res.Cache.Hits += c.Stats.Hits
+		res.Cache.Misses += c.Stats.Misses
+		res.Cache.Evictions += c.Stats.Evictions
+		res.Cache.Rendezvous += c.Stats.Rendezvous
+	}
+	return res, nil
+}
+
+func (s *System) schedule(t int64, e *event) {
+	e.time = t
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.q, e)
+}
+
+func (s *System) scheduleKick(peID int, t int64) {
+	s.schedule(t, &event{kind: evKick, pe: peID})
+}
+
+func (s *System) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// dispatch starts the next ready context on an idle processing element,
+// charging the context-switch or resume cost.
+func (s *System) dispatch(peID int) {
+	if s.running[peID] != nil {
+		return
+	}
+	c := s.kern.NextReady(peID)
+	if c == nil {
+		return
+	}
+	s.running[peID] = c
+	var cost int64
+	if s.lastCtx[peID] == c {
+		// The context's window registers are still loaded.
+		cost = s.p.Resume
+		s.resumes++
+	} else {
+		cost = int64(s.p.PE.SwitchBase) + int64(s.p.PE.ReadyScan)*int64(s.kern.Resident(peID))
+		if prev := s.lastCtx[peID]; prev != nil {
+			n := prev.RollOut()
+			cost += int64(s.p.PE.RollOut) * int64(n)
+			s.rolledRegs += int64(n)
+		}
+		s.switches++
+	}
+	s.lastCtx[peID] = c
+	s.schedule(s.now+cost, &event{kind: evStep, pe: peID, ctx: c.ID})
+}
+
+func (s *System) handleStep(e *event) {
+	c := s.running[e.pe]
+	if c == nil || c.ID != e.ctx {
+		return // stale event after a switch
+	}
+	s.instructions++
+	if s.instructions > s.p.MaxInstructions {
+		s.fail(fmt.Errorf("sim: exceeded %d instructions", s.p.MaxInstructions))
+		return
+	}
+	out, err := s.machines[e.pe].ExecOne(c)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	t := s.now + int64(out.Cycles)
+	switch a := out.Action.(type) {
+	case nil:
+		s.schedule(t, &event{kind: evStep, pe: e.pe, ctx: c.ID})
+	case pe.SendAction:
+		c.Status = pe.BlockedSend
+		s.running[e.pe] = nil
+		s.routeChanOp(t, e.pe, opSend, a.Ch, a.Val, c.ID)
+		s.scheduleKick(e.pe, t)
+	case pe.RecvAction:
+		c.Status = pe.BlockedRecv
+		s.running[e.pe] = nil
+		s.routeChanOp(t, e.pe, opRecv, a.Ch, 0, c.ID)
+		s.scheduleKick(e.pe, t)
+	case pe.TrapAction:
+		s.handleTrap(e.pe, c, a, t)
+	}
+}
+
+// routeChanOp forwards a channel operation to the channel's home message
+// processor, over the ring when remote.
+func (s *System) routeChanOp(t int64, fromPE int, op chanOp, ch, val int32, ctxID int) {
+	if ch <= 0 {
+		s.fail(fmt.Errorf("sim: context %d uses invalid channel %d", ctxID, ch))
+		return
+	}
+	home := int(ch) % s.numPEs
+	arrive := t
+	if home != fromPE {
+		arrive = s.bus.Transfer(t, fromPE, home)
+	}
+	s.schedule(arrive, &event{kind: evChanReq, pe: home, op: op, ch: ch, val: val, ctx: ctxID, src: fromPE})
+}
+
+func (s *System) handleChanReq(e *event) {
+	home := e.pe
+	start := max(s.now, s.mpFree[home])
+	requester := mcache.ContextRef{PE: e.src, Ctx: e.ctx}
+	var (
+		done   *mcache.Completion
+		missed bool
+		err    error
+	)
+	if e.op == opSend {
+		done, missed, err = s.caches[home].Send(e.ch, e.val, requester)
+	} else {
+		done, missed, err = s.caches[home].Recv(e.ch, requester)
+	}
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	cost := s.p.MPCycles
+	if missed {
+		cost += s.p.MPMissPenalty
+	}
+	finish := start + cost
+	s.mpFree[home] = finish
+	if done == nil {
+		return // party parked in the cache until its partner arrives
+	}
+	// Deliver the value to the receiver and the acknowledgement to the
+	// sender, over the ring when remote.
+	rArrive := finish
+	if done.Receiver.PE != home {
+		rArrive = s.bus.Transfer(finish, home, done.Receiver.PE)
+	}
+	s.schedule(rArrive, &event{kind: evRecvDone, pe: done.Receiver.PE, ctx: done.Receiver.Ctx, val: done.Value})
+	sArrive := finish
+	if done.Sender.PE != home {
+		sArrive = s.bus.Transfer(finish, home, done.Sender.PE)
+	}
+	s.schedule(sArrive, &event{kind: evSendDone, pe: done.Sender.PE, ctx: done.Sender.Ctx})
+}
+
+func (s *System) handleRecvDone(e *event) {
+	c, err := s.kern.Context(e.ctx)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	if err := s.machines[e.pe].Complete(c, e.val); err != nil {
+		s.fail(err)
+		return
+	}
+	if err := s.kern.Ready(c.ID); err != nil {
+		s.fail(err)
+		return
+	}
+	s.dispatch(e.pe)
+}
+
+func (s *System) handleSendDone(e *event) {
+	c, err := s.kern.Context(e.ctx)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	if err := s.kern.Ready(c.ID); err != nil {
+		s.fail(err)
+		return
+	}
+	s.dispatch(e.pe)
+}
+
+func (s *System) handleWake(e *event) {
+	c, err := s.kern.Context(e.ctx)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	// The wait actor's result is a control token.
+	if err := s.machines[e.pe].Complete(c, isa.Bool(true)); err != nil {
+		s.fail(err)
+		return
+	}
+	if err := s.kern.Ready(c.ID); err != nil {
+		s.fail(err)
+		return
+	}
+	s.dispatch(e.pe)
+}
+
+func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
+	switch a.Code {
+	case isa.KExit:
+		s.running[peID] = nil
+		if s.lastCtx[peID] == c {
+			s.lastCtx[peID] = nil
+		}
+		if err := s.kern.Exit(c.ID); err != nil {
+			s.fail(err)
+			return
+		}
+		if s.kern.Live() == 0 {
+			s.finished = true
+			s.endTime = t
+			return
+		}
+		s.scheduleKick(peID, t)
+
+	case isa.KRFork, isa.KIFork:
+		gi := int(a.Arg)
+		if gi < 0 || gi >= len(s.prog.Obj.Graphs) {
+			s.fail(fmt.Errorf("sim: context %d forks unknown graph %d", c.ID, gi))
+			return
+		}
+		child, target := s.kern.CreateContext(gi, s.prog.QueueWords(gi), c.ID, peID)
+		cin := s.kern.AllocChannel()
+		var cout int32
+		if a.Code == isa.KRFork {
+			s.kern.Stats.RForks++
+			cout = s.kern.AllocChannel()
+			if err := s.machines[peID].Complete2(c, cin, cout); err != nil {
+				s.fail(err)
+				return
+			}
+		} else {
+			s.kern.Stats.IForks++
+			cout = c.Out()
+			if err := s.machines[peID].Complete(c, cin); err != nil {
+				s.fail(err)
+				return
+			}
+		}
+		child.SetChannels(cin, cout)
+		done := t + s.p.ForkCycles
+		s.schedule(done, &event{kind: evStep, pe: peID, ctx: c.ID})
+		s.scheduleKick(target, done)
+
+	case isa.KChanNew:
+		ch := s.kern.AllocChannel()
+		if err := s.machines[peID].Complete(c, ch); err != nil {
+			s.fail(err)
+			return
+		}
+		s.schedule(t, &event{kind: evStep, pe: peID, ctx: c.ID})
+
+	case isa.KNow:
+		if err := s.machines[peID].Complete(c, int32(t)); err != nil {
+			s.fail(err)
+			return
+		}
+		s.schedule(t, &event{kind: evStep, pe: peID, ctx: c.ID})
+
+	case isa.KWait:
+		c.Status = pe.BlockedWait
+		s.running[peID] = nil
+		wake := max(t, int64(a.Arg))
+		s.schedule(wake, &event{kind: evWake, pe: peID, ctx: c.ID})
+		s.scheduleKick(peID, t)
+
+	default:
+		s.fail(fmt.Errorf("sim: context %d: unknown kernel entry point %d", c.ID, a.Code))
+	}
+}

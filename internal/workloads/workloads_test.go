@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"testing"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/sim"
+)
+
+// runCheck compiles a workload, executes it on numPEs, and verifies the
+// result against its Go reference.
+func runCheck(t *testing.T, w Workload, numPEs int) *sim.Result {
+	t.Helper()
+	art, err := compile.Compile(w.Source, compile.Options{})
+	if err != nil {
+		t.Fatalf("%s: Compile: %v", w.Name, err)
+	}
+	res, err := sim.Run(art.Object, numPEs, sim.DefaultParams())
+	if err != nil {
+		t.Fatalf("%s: Run on %d PEs: %v", w.Name, numPEs, err)
+	}
+	if err := w.Check(art, res.Data); err != nil {
+		t.Errorf("%s on %d PEs: %v", w.Name, numPEs, err)
+	}
+	return res
+}
+
+func TestMatMulSmall(t *testing.T) {
+	for _, pes := range []int{1, 2, 4} {
+		runCheck(t, MatMul(4), pes)
+	}
+}
+
+func TestMatMulFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 8x8 matmul in -short mode")
+	}
+	res := runCheck(t, MatMul(8), 8)
+	if res.Kernel.ContextsCreated < 100 {
+		t.Errorf("contexts = %d; expected a large dynamic context population", res.Kernel.ContextsCreated)
+	}
+}
+
+func TestFFTSmall(t *testing.T) {
+	for _, pes := range []int{1, 4} {
+		runCheck(t, FFT(3), pes) // 8-point
+	}
+}
+
+func TestFFT64(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64-point FFT in -short mode")
+	}
+	runCheck(t, FFT(6), 8)
+}
+
+func TestCholeskySmall(t *testing.T) {
+	for _, pes := range []int{1, 4} {
+		runCheck(t, Cholesky(4), pes)
+	}
+}
+
+func TestCholeskyFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("8x8 Cholesky in -short mode")
+	}
+	runCheck(t, Cholesky(8), 8)
+}
+
+func TestCongruenceSmall(t *testing.T) {
+	runCheck(t, Congruence(4), 4)
+}
+
+func TestBinarySumBothForms(t *testing.T) {
+	rec := BinaryRecursiveSum(16)
+	iter := IterativeSum(16)
+	r1 := runCheck(t, rec, 4)
+	r2 := runCheck(t, iter, 4)
+	// The recursive form spawns a context tree; the iterative form walks
+	// iteration contexts. Both must agree on the answer (checked above),
+	// and the recursive form should exploit more parallelism.
+	if r1.Kernel.RForks <= r2.Kernel.RForks {
+		t.Errorf("recursive rforks %d <= iterative %d", r1.Kernel.RForks, r2.Kernel.RForks)
+	}
+}
+
+// TestReferencesAreExact double-checks reference self-consistency.
+func TestReferencesAreExact(t *testing.T) {
+	// Cholesky: L·Lᵀ must reproduce A.
+	n := 6
+	a := RefCholeskyA(n)
+	l := RefCholeskyL(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for k := 0; k < n; k++ {
+				s += l[i*n+k] * l[j*n+k]
+			}
+			if s != a[i*n+j] {
+				t.Fatalf("A != L·Lᵀ at (%d,%d)", i, j)
+			}
+		}
+	}
+	// FFT of the 4-point transform, hand-checkable energy conservation:
+	// the DC bin equals the sum of inputs (within fixed-point exactness
+	// the twiddle for k=0 is exactly 1.0).
+	re, _ := RefFFT(2)
+	var dc int32
+	for i := 0; i < 4; i++ {
+		dc += fftInputRe(i)
+	}
+	if re[0] != dc {
+		t.Errorf("FFT DC bin = %d, want %d", re[0], dc)
+	}
+}
+
+func TestSpeedupShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup sweep in -short mode")
+	}
+	w := MatMul(6)
+	art, err := compile.Compile(w.Source, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycles []int64
+	for _, pes := range []int{1, 2, 4} {
+		res, err := sim.Run(art.Object, pes, sim.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Check(art, res.Data); err != nil {
+			t.Fatal(err)
+		}
+		cycles = append(cycles, res.Cycles)
+	}
+	if !(cycles[0] > cycles[1] && cycles[1] > cycles[2]) {
+		t.Errorf("no monotone speedup: %v", cycles)
+	}
+	s2 := float64(cycles[0]) / float64(cycles[1])
+	s4 := float64(cycles[0]) / float64(cycles[2])
+	t.Logf("matmul-6x6 speedup: 2 PEs %.2f, 4 PEs %.2f", s2, s4)
+	if s2 < 1.5 || s4 < 2.2 {
+		t.Errorf("speedup too low: S(2)=%.2f S(4)=%.2f", s2, s4)
+	}
+}

@@ -1,0 +1,145 @@
+package queuemachine
+
+// Integration tests for the command-line toolchain: compile an OCCAM
+// program with occ, inspect it with qdis, execute it with qsim, assemble a
+// hand-written program with qasm, and regenerate an experiment with qmexp.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the five commands once into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("tool builds in -short mode")
+	}
+	dir := t.TempDir()
+	for _, tool := range []string{"occ", "qasm", "qdis", "qsim", "qmexp"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, out)
+		}
+	}
+	return dir
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestToolchainRoundTrip(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+
+	// A program whose result we can check from qsim's dump.
+	src := filepath.Join(work, "prog.occ")
+	if err := os.WriteFile(src, []byte(`var v[1], sum:
+seq
+  sum := 0
+  seq k = [1 for 10]
+    sum := sum + k
+  v[0] := sum
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// occ -S prints assembly.
+	asmOut := runTool(t, filepath.Join(bin, "occ"), "-S", src)
+	if !strings.Contains(asmOut, ".graph main") || !strings.Contains(asmOut, "trap #0,#0") {
+		t.Errorf("occ -S output unexpected:\n%s", asmOut)
+	}
+
+	// occ -run executes directly.
+	runOut := runTool(t, filepath.Join(bin, "occ"), "-run", "2", src)
+	if !strings.Contains(runOut, "[0] = 55") {
+		t.Errorf("occ -run did not produce 55:\n%s", runOut)
+	}
+
+	// occ writes an object file; qdis disassembles it; qsim runs it.
+	runTool(t, filepath.Join(bin, "occ"), src)
+	qobj := filepath.Join(work, "prog.qobj")
+	disOut := runTool(t, filepath.Join(bin, "qdis"), qobj)
+	if !strings.Contains(disOut, ".entry main") {
+		t.Errorf("qdis output unexpected:\n%s", disOut)
+	}
+	simOut := runTool(t, filepath.Join(bin, "qsim"), "-pes", "4", "-dump", qobj)
+	if !strings.Contains(simOut, "[0] = 55") {
+		t.Errorf("qsim did not produce 55:\n%s", simOut)
+	}
+	if !strings.Contains(simOut, "avg queue length") {
+		t.Errorf("qsim statistics incomplete:\n%s", simOut)
+	}
+
+	// occ dumps compiler internals.
+	iftOut := runTool(t, filepath.Join(bin, "occ"), "-dump-ift", src)
+	if !strings.Contains(iftOut, "assign") {
+		t.Errorf("occ -dump-ift output unexpected:\n%s", iftOut)
+	}
+	dfgOut := runTool(t, filepath.Join(bin, "occ"), "-dump-dfg", src)
+	if !strings.Contains(dfgOut, "graph main") {
+		t.Errorf("occ -dump-dfg output unexpected:\n%s", dfgOut)
+	}
+}
+
+func TestToolchainAssembler(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+	src := filepath.Join(work, "hand.qasm")
+	if err := os.WriteFile(src, []byte(`.data 1
+.entry main
+.graph main queue=32
+	plus #40,#2 :r0
+	store+1 #0,r0
+	trap #0,#0
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runTool(t, filepath.Join(bin, "qasm"), src)
+	simOut := runTool(t, filepath.Join(bin, "qsim"), "-pes", "1", "-dump",
+		filepath.Join(work, "hand.qobj"))
+	if !strings.Contains(simOut, "[0] = 42") {
+		t.Errorf("assembled program result wrong:\n%s", simOut)
+	}
+}
+
+func TestToolchainExperiments(t *testing.T) {
+	bin := buildTools(t)
+	listOut := runTool(t, filepath.Join(bin, "qmexp"), "-list")
+	if !strings.Contains(listOut, "table3.2") || !strings.Contains(listOut, "fig6.8") {
+		t.Errorf("qmexp -list output unexpected:\n%s", listOut)
+	}
+	expOut := runTool(t, filepath.Join(bin, "qmexp"), "-e", "table4.5")
+	if !strings.Contains(expOut, "pi_I order") {
+		t.Errorf("qmexp -e output unexpected:\n%s", expOut)
+	}
+}
+
+func TestToolchainErrors(t *testing.T) {
+	bin := buildTools(t)
+	// Unknown experiment id exits nonzero.
+	cmd := exec.Command(filepath.Join(bin, "qmexp"), "-e", "nosuch")
+	if err := cmd.Run(); err == nil {
+		t.Error("qmexp accepted an unknown experiment")
+	}
+	// A compile error propagates as a nonzero exit.
+	work := t.TempDir()
+	bad := filepath.Join(work, "bad.occ")
+	if err := os.WriteFile(bad, []byte("seq\n  x := 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd = exec.Command(filepath.Join(bin, "occ"), "-S", bad)
+	if err := cmd.Run(); err == nil {
+		t.Error("occ accepted an undeclared variable")
+	}
+}
