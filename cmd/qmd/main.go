@@ -1,0 +1,83 @@
+// Command qmd is the queue machine daemon: a long-running HTTP service
+// that compiles OCCAM programs and executes them on the simulated
+// multiprocessor, with a content-addressed artifact cache, a bounded
+// worker pool that sheds overload with 429s, per-request deadlines, and
+// graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	qmd                          serve on :8344 with defaults
+//	qmd -addr :9000 -workers 8   explicit listen address and pool size
+//
+// Endpoints: POST /compile, POST /run, GET /healthz, GET /statsz.
+// Example:
+//
+//	curl -s localhost:8344/run -d '{"source": "var v[1]:\nseq\n  v[0] := 42\n", "pes": 4}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"queuemachine/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8344", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "admission queue depth (0: 4x workers)")
+		cache   = flag.Int("cache", 128, "artifact cache entries")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxBody = flag.Int64("max-body", 1<<20, "request body limit in bytes")
+		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: qmd [flags]")
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cache,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("qmd: serving on %s", *addr)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("qmd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("qmd: draining (up to %s)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		log.Printf("qmd: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("qmd: drain: %v", err)
+	}
+	log.Printf("qmd: bye")
+}

@@ -5,6 +5,7 @@
 //
 //	qsim -pes 4 prog.qobj
 //	qsim -pes 8 -dump prog.qobj     also dump the final data segment
+//	qsim -pes 4 -json prog.qobj     emit statistics as JSON (the qmd wire format)
 package main
 
 import (
@@ -14,13 +15,15 @@ import (
 	"os"
 
 	"queuemachine/internal/isa"
+	"queuemachine/internal/service"
 	"queuemachine/internal/sim"
 )
 
 func main() {
 	var (
-		pes  = flag.Int("pes", 1, "number of processing elements")
-		dump = flag.Bool("dump", false, "dump the final data segment")
+		pes     = flag.Int("pes", 1, "number of processing elements")
+		dump    = flag.Bool("dump", false, "dump the final data segment")
+		jsonOut = flag.Bool("json", false, "emit run statistics as JSON")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -38,6 +41,15 @@ func main() {
 	res, err := sim.Run(&obj, *pes, sim.DefaultParams())
 	if err != nil {
 		fatal(err)
+	}
+	if *jsonOut {
+		// The same document the qmd service serves from /run.
+		out, err := json.MarshalIndent(service.NewRunStats(res, *dump), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", out)
+		return
 	}
 	fmt.Printf("processing elements  %d\n", res.NumPEs)
 	fmt.Printf("cycles               %d\n", res.Cycles)

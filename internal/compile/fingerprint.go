@@ -1,0 +1,29 @@
+package compile
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// fingerprintVersion is folded into every fingerprint so that compiler
+// changes which alter generated code can invalidate cached artifacts by
+// bumping one constant.
+const fingerprintVersion = "queuemachine/compile/1"
+
+// Fingerprint is the content address of a compilation: the hex SHA-256 of
+// the source text and the full option set. Two compilations with equal
+// fingerprints produce interchangeable artifacts, so the fingerprint is a
+// safe cache key for compiled objects.
+func Fingerprint(src string, opts Options) string {
+	h := sha256.New()
+	io.WriteString(h, fingerprintVersion)
+	// Length-prefix the source so no option encoding can collide with
+	// source bytes.
+	fmt.Fprintf(h, "\x00%d\x00", len(src))
+	io.WriteString(h, src)
+	fmt.Fprintf(h, "\x00opts:%t,%t,%t,%t",
+		opts.NoInputOrder, opts.NoLiveFilter, opts.NoPriority, opts.NoConstFold)
+	return hex.EncodeToString(h.Sum(nil))
+}

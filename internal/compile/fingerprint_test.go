@@ -1,0 +1,32 @@
+package compile
+
+import "testing"
+
+func TestFingerprintDeterministic(t *testing.T) {
+	const src = "var v[1]:\nseq\n  v[0] := 1\n"
+	a := Fingerprint(src, Options{})
+	b := Fingerprint(src, Options{})
+	if a != b {
+		t.Errorf("identical inputs hashed differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Errorf("fingerprint length = %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestFingerprintDiscriminates(t *testing.T) {
+	const src = "var v[1]:\nseq\n  v[0] := 1\n"
+	seen := map[string]string{}
+	add := func(label, fp string) {
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("%s collides with %s", label, prev)
+		}
+		seen[fp] = label
+	}
+	add("base", Fingerprint(src, Options{}))
+	add("source change", Fingerprint(src+" ", Options{}))
+	add("no-input-order", Fingerprint(src, Options{NoInputOrder: true}))
+	add("no-live-filter", Fingerprint(src, Options{NoLiveFilter: true}))
+	add("no-priority", Fingerprint(src, Options{NoPriority: true}))
+	add("no-const-fold", Fingerprint(src, Options{NoConstFold: true}))
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"queuemachine/internal/compile"
+)
+
+// CacheStats is a point-in-time snapshot of the artifact cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+}
+
+// artifactCache is a content-addressed LRU of compiled artifacts, keyed by
+// compile.Fingerprint. Artifacts are immutable after compilation and the
+// simulator only reads them, so one cached entry can back any number of
+// concurrent runs.
+type artifactCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // fingerprint → element holding *cacheEntry
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key string
+	art *compile.Artifact
+}
+
+func newArtifactCache(capacity int) *artifactCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &artifactCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached artifact for key, promoting it to most recently
+// used. Every call counts as a hit or a miss.
+func (c *artifactCache) get(key string) (*compile.Artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).art, true
+}
+
+// add inserts (or refreshes) an artifact, evicting the least recently used
+// entry when the cache is full. Concurrent compiles of the same source may
+// both add; the second add is a refresh, not an eviction.
+func (c *artifactCache) add(key string, art *compile.Artifact) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).art = art
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, art: art})
+	for len(c.items) > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *artifactCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   len(c.items),
+		Capacity:  c.cap,
+	}
+}

@@ -1,0 +1,259 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/isa"
+	"queuemachine/internal/sim"
+)
+
+// compileOptions mirrors compile.Options with stable wire names.
+type compileOptions struct {
+	NoInputOrder bool `json:"no_input_order,omitempty"`
+	NoLiveFilter bool `json:"no_live_filter,omitempty"`
+	NoPriority   bool `json:"no_priority,omitempty"`
+	NoConstFold  bool `json:"no_const_fold,omitempty"`
+}
+
+func (o compileOptions) toCompile() compile.Options {
+	return compile.Options{
+		NoInputOrder: o.NoInputOrder,
+		NoLiveFilter: o.NoLiveFilter,
+		NoPriority:   o.NoPriority,
+		NoConstFold:  o.NoConstFold,
+	}
+}
+
+type compileRequest struct {
+	Source    string         `json:"source"`
+	Options   compileOptions `json:"options"`
+	TimeoutMS int64          `json:"timeout_ms,omitempty"`
+}
+
+type compileResponse struct {
+	Fingerprint string      `json:"fingerprint"`
+	Cached      bool        `json:"cached"`
+	Graphs      int         `json:"graphs"`
+	DataWords   int         `json:"data_words"`
+	Object      *isa.Object `json:"object"`
+}
+
+type runRequest struct {
+	// Exactly one of Source and Object names the program. Source is
+	// compiled (through the artifact cache); Object is executed as given.
+	Source  string         `json:"source,omitempty"`
+	Object  *isa.Object    `json:"object,omitempty"`
+	Options compileOptions `json:"options"`
+	// PEs is the simulated machine size (default 1).
+	PEs int `json:"pes,omitempty"`
+	// Params overlays fields onto the service's base sim.Params.
+	Params    json.RawMessage `json:"params,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	DumpData  bool            `json:"dump_data,omitempty"`
+}
+
+type runResponse struct {
+	Fingerprint string    `json:"fingerprint,omitempty"`
+	Cached      bool      `json:"cached"`
+	Stats       *RunStats `json:"stats"`
+}
+
+// httpError carries a status code chosen at the point the failure is
+// understood; everything else maps through toStatus.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func toStatus(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.status
+	case errors.Is(err, errBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// error writes the structured JSON error document for err.
+func (s *Service) error(w http.ResponseWriter, err error) {
+	status := toStatus(err)
+	if status == http.StatusTooManyRequests {
+		s.rejected.Add(1)
+		// One in-flight simulation is a reasonable guess at when a worker
+		// frees up; clients with better knowledge can ignore it.
+		w.Header().Set("Retry-After", "1")
+	} else {
+		s.fails.Add(1)
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// decode reads a bounded JSON request body.
+func (s *Service) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return badRequest("malformed request: %v", err)
+	}
+	return nil
+}
+
+// compileCached serves an artifact from the cache or compiles and caches
+// it. Compile failures are the client's fault, not the server's: 422.
+func (s *Service) compileCached(src string, opts compile.Options) (*compile.Artifact, bool, string, error) {
+	fp := compile.Fingerprint(src, opts)
+	if art, ok := s.cache.get(fp); ok {
+		return art, true, fp, nil
+	}
+	art, err := compile.Compile(src, opts)
+	if err != nil {
+		return nil, false, fp, &httpError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	s.cache.add(fp, art)
+	return art, false, fp, nil
+}
+
+func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
+	s.compiles.Add(1)
+	if s.draining.Load() {
+		s.error(w, errClosed)
+		return
+	}
+	var req compileRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.error(w, err)
+		return
+	}
+	if req.Source == "" {
+		s.error(w, badRequest("missing source"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	defer cancel()
+	v, err := s.execute(ctx, func(context.Context) (any, error) {
+		art, cached, fp, err := s.compileCached(req.Source, req.Options.toCompile())
+		if err != nil {
+			return nil, err
+		}
+		return &compileResponse{
+			Fingerprint: fp,
+			Cached:      cached,
+			Graphs:      len(art.Object.Graphs),
+			DataWords:   art.Object.DataWords,
+			Object:      art.Object,
+		}, nil
+	})
+	if err != nil {
+		s.error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.runs.Add(1)
+	if s.draining.Load() {
+		s.error(w, errClosed)
+		return
+	}
+	var req runRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.error(w, err)
+		return
+	}
+	if (req.Source == "") == (req.Object == nil) {
+		s.error(w, badRequest("provide exactly one of source and object"))
+		return
+	}
+	pes := req.PEs
+	if pes == 0 {
+		pes = 1
+	}
+	if pes < 1 || pes > s.cfg.MaxPEs {
+		s.error(w, badRequest("pes %d out of range [1, %d]", pes, s.cfg.MaxPEs))
+		return
+	}
+	params := *s.cfg.Sim
+	if len(req.Params) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(req.Params))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&params); err != nil {
+			s.error(w, badRequest("malformed params: %v", err))
+			return
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	defer cancel()
+	v, err := s.execute(ctx, func(ctx context.Context) (any, error) {
+		resp := &runResponse{}
+		obj := req.Object
+		if obj == nil {
+			art, cached, fp, err := s.compileCached(req.Source, req.Options.toCompile())
+			if err != nil {
+				return nil, err
+			}
+			obj, resp.Cached, resp.Fingerprint = art.Object, cached, fp
+		}
+		res, err := sim.RunContext(ctx, obj, pes, params)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, err // maps to 504 via the wrapped context error
+			}
+			// Deadlocks, watchdog trips, and malformed objects are
+			// properties of the submitted program.
+			return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
+		}
+		resp.Stats = NewRunStats(res, req.DumpData)
+		return resp, nil
+	})
+	if err != nil {
+		s.error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	// errBusy reports that the admission queue is full; callers translate
+	// it to 429 + Retry-After.
+	errBusy = errors.New("service: saturated, retry later")
+	// errClosed reports that the service is draining; callers translate it
+	// to 503.
+	errClosed = errors.New("service: shutting down")
+)
+
+// pool is a fixed set of workers fed by a bounded admission queue. Intake
+// is strictly non-blocking: a full queue rejects rather than queues, which
+// is what turns overload into backpressure at the HTTP layer.
+type pool struct {
+	mu       sync.RWMutex
+	closed   bool
+	jobs     chan func()
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+}
+
+func newPool(workers, depth int) *pool {
+	p := &pool{jobs: make(chan func(), depth)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				p.inFlight.Add(1)
+				job()
+				p.inFlight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job without blocking.
+func (p *pool) submit(job func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errClosed
+	}
+	select {
+	case p.jobs <- job:
+		return nil
+	default:
+		return errBusy
+	}
+}
+
+// shutdown closes intake and waits for queued and in-flight jobs to drain,
+// up to ctx's deadline.
+func (p *pool) shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// queued and capacity report admission-queue occupancy for /statsz.
+func (p *pool) queued() int   { return len(p.jobs) }
+func (p *pool) capacity() int { return cap(p.jobs) }

@@ -1,0 +1,167 @@
+// Package service turns the one-shot compile-and-simulate pipeline into a
+// long-running serving layer: an HTTP/JSON API over the OCCAM compiler and
+// the Chapter 6 multiprocessor simulator with a content-addressed artifact
+// cache, a fixed worker pool behind a bounded admission queue, per-request
+// deadlines, and graceful drain on shutdown.
+//
+// Endpoints:
+//
+//	POST /compile   OCCAM source → object program (cached by fingerprint)
+//	POST /run       source or object → full simulation statistics
+//	GET  /healthz   liveness (503 while draining)
+//	GET  /statsz    service, queue, and cache counters
+//
+// Compiled artifacts are keyed by compile.Fingerprint — the SHA-256 of
+// (source, options) — so a repeated compile of identical source is served
+// from the in-memory LRU without touching the compiler. Overload is
+// explicit: when the admission queue is full the service answers 429 with
+// a Retry-After header instead of queueing unbounded work, and every job
+// runs under a deadline wired through sim.RunContext so a cancelled or
+// expired request aborts the event loop between events.
+package service
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"queuemachine/internal/sim"
+)
+
+// Config sizes the service. The zero value is usable: every field falls
+// back to the default noted on it.
+type Config struct {
+	// Workers is the number of concurrent compile/simulate workers
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the admission queue of jobs waiting for a worker;
+	// beyond it requests are rejected with 429 (default: 4×Workers).
+	QueueDepth int
+	// CacheEntries is the artifact cache capacity (default: 128).
+	CacheEntries int
+	// MaxBodyBytes bounds request bodies (default: 1 MiB).
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-request deadline when the request does not
+	// name one (default: 30s). MaxTimeout caps client-requested deadlines
+	// (default: 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxPEs caps the simulated machine size a request may ask for
+	// (default: 1024).
+	MaxPEs int
+	// Sim is the base machine configuration; request params overlay it
+	// (default: sim.DefaultParams()).
+	Sim *sim.Params
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxPEs <= 0 {
+		c.MaxPEs = 1024
+	}
+	if c.Sim == nil {
+		p := sim.DefaultParams()
+		c.Sim = &p
+	}
+	return c
+}
+
+// Service is one compile-and-simulate server instance.
+type Service struct {
+	cfg   Config
+	cache *artifactCache
+	pool  *pool
+	mux   *http.ServeMux
+	start time.Time
+
+	draining                        atomic.Bool
+	compiles, runs, rejected, fails atomic.Int64
+}
+
+// New builds a service; it is ready to serve as soon as its Handler is
+// mounted.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		cache: newArtifactCache(cfg.CacheEntries),
+		pool:  newPool(cfg.Workers, cfg.QueueDepth),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /compile", s.handleCompile)
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// Handler is the service's HTTP interface.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Shutdown stops admitting work and drains in-flight jobs, waiting up to
+// ctx's deadline. New requests are answered 503 immediately.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.shutdown(ctx)
+}
+
+// execute runs f on a pool worker, enforcing admission control and the
+// request deadline. It returns errBusy when the queue is full and ctx's
+// error when the deadline fires first (the worker's sim aborts through the
+// same context).
+func (s *Service) execute(ctx context.Context, f func(context.Context) (any, error)) (any, error) {
+	type outcome struct {
+		v   any
+		err error
+	}
+	ch := make(chan outcome, 1)
+	err := s.pool.submit(func() {
+		// The request may have expired while queued; don't start work
+		// nobody is waiting for.
+		if err := ctx.Err(); err != nil {
+			ch <- outcome{nil, err}
+			return
+		}
+		v, err := f(ctx)
+		ch <- outcome{v, err}
+	})
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case o := <-ch:
+		return o.v, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// deadline resolves a request's timeout in milliseconds (0 = default)
+// against the configured default and ceiling.
+func (s *Service) deadline(timeoutMS int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	return min(d, s.cfg.MaxTimeout)
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"time"
+
+	"queuemachine/internal/sim"
+)
+
+// RunStats is the machine-readable view of one simulation run, shared by
+// the /run endpoint and qsim's -json output so both emit identical
+// documents.
+type RunStats struct {
+	Cycles          int64   `json:"cycles"`
+	PEs             int     `json:"pes"`
+	Instructions    int64   `json:"instructions"`
+	Utilization     float64 `json:"utilization"`
+	AvgQueueLength  float64 `json:"avg_queue_length"`
+	ContextsCreated int64   `json:"contexts_created"`
+	RForks          int64   `json:"rforks"`
+	IForks          int64   `json:"iforks"`
+	Switches        int64   `json:"switches"`
+	Resumes         int64   `json:"resumes"`
+	RolledRegisters int64   `json:"rolled_registers"`
+	Rendezvous      int64   `json:"rendezvous"`
+	ChanCacheHits   int64   `json:"chan_cache_hits"`
+	ChanCacheMisses int64   `json:"chan_cache_misses"`
+	ChanCacheEvicts int64   `json:"chan_cache_evictions"`
+	RingMessages    int64   `json:"ring_messages"`
+	RingWaitCycles  int64   `json:"ring_wait_cycles"`
+	MemReads        int64   `json:"mem_reads"`
+	MemWrites       int64   `json:"mem_writes"`
+	// Data is the final static data segment, included only on request
+	// (it can dwarf the statistics).
+	Data []int32 `json:"data,omitempty"`
+}
+
+// NewRunStats projects a sim.Result into its serving form. The data
+// segment rides along only when includeData is set.
+func NewRunStats(res *sim.Result, includeData bool) *RunStats {
+	rs := &RunStats{
+		Cycles:          res.Cycles,
+		PEs:             res.NumPEs,
+		Instructions:    res.Instructions,
+		Utilization:     res.Utilization(),
+		AvgQueueLength:  res.AvgQueueLength(),
+		ContextsCreated: res.Kernel.ContextsCreated,
+		RForks:          res.Kernel.RForks,
+		IForks:          res.Kernel.IForks,
+		Switches:        res.Switches,
+		Resumes:         res.Resumes,
+		RolledRegisters: res.RolledRegisters,
+		Rendezvous:      res.Cache.Rendezvous,
+		ChanCacheHits:   res.Cache.Hits,
+		ChanCacheMisses: res.Cache.Misses,
+		ChanCacheEvicts: res.Cache.Evictions,
+		RingMessages:    res.Ring.Messages,
+		RingWaitCycles:  res.Ring.WaitCycles,
+		MemReads:        res.MemReads,
+		MemWrites:       res.MemWrites,
+	}
+	if includeData {
+		rs.Data = res.Data
+	}
+	return rs
+}
+
+// ServiceStats is the /statsz document.
+type ServiceStats struct {
+	UptimeSeconds float64    `json:"uptime_seconds"`
+	Draining      bool       `json:"draining"`
+	Compiles      int64      `json:"compiles"`
+	Runs          int64      `json:"runs"`
+	Rejected      int64      `json:"rejected"`
+	Errors        int64      `json:"errors"`
+	Workers       int        `json:"workers"`
+	InFlight      int64      `json:"in_flight"`
+	Queued        int        `json:"queued"`
+	QueueCapacity int        `json:"queue_capacity"`
+	Cache         CacheStats `json:"cache"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Draining:      s.draining.Load(),
+		Compiles:      s.compiles.Load(),
+		Runs:          s.runs.Load(),
+		Rejected:      s.rejected.Load(),
+		Errors:        s.fails.Load(),
+		Workers:       s.cfg.Workers,
+		InFlight:      s.pool.inFlight.Load(),
+		Queued:        s.pool.queued(),
+		QueueCapacity: s.pool.capacity(),
+		Cache:         s.cache.stats(),
+	}
+}

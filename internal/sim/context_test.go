@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// infiniteLoop spins forever; only a watchdog or a context can stop it.
+const infiniteLoop = `
+.graph main queue=32
+lp:
+	bne+0 #1,@lp
+	trap #0,#0
+`
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, assemble(t, infiniteLoop), 1, DefaultParams())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, assemble(t, infiniteLoop), 1, DefaultParams())
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunContext did not abort on deadline")
+	}
+}
+
+func TestRunContextBackgroundCompletes(t *testing.T) {
+	// A context that never fires must not perturb a normal run.
+	res, err := RunContext(context.Background(), assemble(t, singleContext), 1, DefaultParams())
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	ref := run(t, singleContext, 1)
+	if res.Cycles != ref.Cycles || res.Instructions != ref.Instructions {
+		t.Errorf("RunContext stats (%d cycles, %d instr) differ from Run (%d, %d)",
+			res.Cycles, res.Instructions, ref.Cycles, ref.Instructions)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"strings"
 
@@ -124,22 +125,48 @@ func New(obj *isa.Object, numPEs int, params Params) (*System, error) {
 
 // Run executes the program to completion and returns the run statistics.
 func Run(obj *isa.Object, numPEs int, params Params) (*Result, error) {
+	return RunContext(context.Background(), obj, numPEs, params)
+}
+
+// RunContext executes the program to completion, aborting between events
+// once ctx is cancelled or its deadline passes.
+func RunContext(ctx context.Context, obj *isa.Object, numPEs int, params Params) (*Result, error) {
 	s, err := New(obj, numPEs, params)
 	if err != nil {
 		return nil, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }
 
 // Run drives the event loop until every context has terminated.
-func (s *System) Run() (*Result, error) {
+func (s *System) Run() (*Result, error) { return s.RunContext(context.Background()) }
+
+// ctxPollEvents is how many events the loop processes between context
+// cancellation checks: often enough that a deadline aborts within
+// microseconds, rarely enough that the check costs nothing measurable.
+const ctxPollEvents = 1024
+
+// RunContext drives the event loop until every context has terminated or
+// ctx is done. Cancellation is checked between events, never mid-event, so
+// an aborted run leaves no half-applied simulation state. The returned
+// error wraps ctx.Err() so callers can test it with errors.Is.
+func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	// The initial context executes the entry graph on the least-loaded
 	// (hence first) processing element, with fresh in/out channels.
 	main, target := s.kern.CreateContext(s.prog.Obj.Entry, s.prog.QueueWords(s.prog.Obj.Entry), -1, 0)
 	main.SetChannels(s.kern.AllocChannel(), s.kern.AllocChannel())
 	s.scheduleKick(target, 0)
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: aborted before start: %w", err)
+	}
+	var polled uint
 	for len(s.q) > 0 && !s.finished && s.err == nil {
+		if polled++; polled%ctxPollEvents == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: aborted at cycle %d: %w", s.now, err)
+			}
+		}
 		e := heap.Pop(&s.q).(*event)
 		s.now = e.time
 		if s.now > s.p.MaxCycles {

@@ -5,11 +5,17 @@ package queuemachine
 // hand-written program with qasm, and regenerate an experiment with qmexp.
 
 import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildTools compiles the five commands once into a shared temp dir.
@@ -19,7 +25,7 @@ func buildTools(t *testing.T) string {
 		t.Skip("tool builds in -short mode")
 	}
 	dir := t.TempDir()
-	for _, tool := range []string{"occ", "qasm", "qdis", "qsim", "qmexp"} {
+	for _, tool := range []string{"occ", "qasm", "qdis", "qsim", "qmexp", "qmd"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 		cmd.Env = os.Environ()
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -81,6 +87,24 @@ seq
 		t.Errorf("qsim statistics incomplete:\n%s", simOut)
 	}
 
+	// qsim -json emits the qmd service's machine-readable statistics.
+	jsonOut := runTool(t, filepath.Join(bin, "qsim"), "-pes", "4", "-dump", "-json", qobj)
+	var stats struct {
+		Cycles       int64   `json:"cycles"`
+		PEs          int     `json:"pes"`
+		Instructions int64   `json:"instructions"`
+		Data         []int32 `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &stats); err != nil {
+		t.Fatalf("qsim -json produced invalid JSON: %v\n%s", err, jsonOut)
+	}
+	if stats.Cycles <= 0 || stats.PEs != 4 || stats.Instructions <= 0 {
+		t.Errorf("qsim -json stats unexpected: %+v", stats)
+	}
+	if len(stats.Data) == 0 || stats.Data[0] != 55 {
+		t.Errorf("qsim -json data segment = %v, want [55]", stats.Data)
+	}
+
 	// occ dumps compiler internals.
 	iftOut := runTool(t, filepath.Join(bin, "occ"), "-dump-ift", src)
 	if !strings.Contains(iftOut, "assign") {
@@ -122,6 +146,79 @@ func TestToolchainExperiments(t *testing.T) {
 	expOut := runTool(t, filepath.Join(bin, "qmexp"), "-e", "table4.5")
 	if !strings.Contains(expOut, "pi_I order") {
 		t.Errorf("qmexp -e output unexpected:\n%s", expOut)
+	}
+}
+
+// TestToolchainDaemon boots qmd, serves one compile-and-run round trip
+// over HTTP, and shuts it down with SIGTERM.
+func TestToolchainDaemon(t *testing.T) {
+	bin := buildTools(t)
+	// Reserve a port, free it, and hand it to the daemon. The tiny race
+	// is test-local and the healthz poll below absorbs slow starts.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	cmd := exec.Command(filepath.Join(bin, "qmd"), "-addr", addr)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting qmd: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("qmd never became healthy: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	body := `{"source": "var v[1]:\nseq\n  v[0] := 41 + 1\n", "pes": 2, "dump_data": true}`
+	resp, err := http.Post(base+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /run: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/run: %d %s", resp.StatusCode, raw)
+	}
+	var run struct {
+		Stats struct {
+			Cycles int64   `json:"cycles"`
+			Data   []int32 `json:"data"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(raw, &run); err != nil {
+		t.Fatalf("/run response %q: %v", raw, err)
+	}
+	if run.Stats.Cycles <= 0 || len(run.Stats.Data) == 0 || run.Stats.Data[0] != 42 {
+		t.Errorf("/run stats unexpected: %s", raw)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Errorf("qmd exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("qmd did not exit on SIGTERM")
 	}
 }
 
