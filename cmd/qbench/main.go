@@ -1,0 +1,212 @@
+// Command qbench turns `go test -bench` output into a benchmark-regression
+// gate on the simulated cycle counts. The simulator is deterministic, so the
+// "simcycles" metric each Chapter 6 benchmark reports is exact: any drift
+// from the committed baseline is a behavioural change, not noise, and the
+// gate compares for equality rather than within a tolerance.
+//
+// Usage:
+//
+//	go test -bench 'Fig6|Table6' -benchtime 1x | qbench -out BENCH_ci.json
+//	    record a run: parse the bench output and write the cycle counts
+//
+//	go test -bench ... | qbench -baseline BENCH_baseline.json -out BENCH_ci.json
+//	    gate a run: additionally compare against the committed baseline and
+//	    exit 1 when any benchmark drifted or disappeared
+//
+// Bench output is read from the named file argument, or stdin when absent.
+// Benchmarks present in the run but not the baseline are reported as new
+// without failing the gate (commit the refreshed file to accept them).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Report is the JSON document qbench reads and writes. Cycle counts are
+// keyed by benchmark name with the -GOMAXPROCS suffix stripped, so the gate
+// is insensitive to the machine the run happened on.
+type Report struct {
+	Metric     string           `json:"metric"`
+	Benchmarks map[string]int64 `json:"benchmarks"`
+}
+
+// procSuffix matches the "-8" GOMAXPROCS suffix go test appends to benchmark
+// names when GOMAXPROCS > 1. Sub-benchmark names also end in digits
+// ("pes-4"), so parse only strips a suffix every benchmark line of the run
+// shares — that uniformity is what distinguishes the GOMAXPROCS suffix from
+// a name that happens to end in a number.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "committed baseline JSON to gate against")
+		outPath      = flag.String("out", "", "write this run's cycle counts as JSON")
+	)
+	flag.Parse()
+
+	in := io.Reader(os.Stdin)
+	switch flag.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	default:
+		fmt.Fprintln(os.Stderr, "usage: qbench [-baseline file] [-out file] [bench-output]")
+		os.Exit(2)
+	}
+
+	current, err := parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no simcycles metrics found in bench output"))
+	}
+	if *outPath != "" {
+		blob, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	if *baselinePath == "" {
+		fmt.Printf("qbench: recorded %d benchmarks\n", len(current.Benchmarks))
+		return
+	}
+
+	blob, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var baseline Report
+	if err := json.Unmarshal(blob, &baseline); err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *baselinePath, err))
+	}
+
+	var drifted, missing, fresh []string
+	for _, name := range sortedKeys(baseline.Benchmarks) {
+		want := baseline.Benchmarks[name]
+		got, ok := current.Benchmarks[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		if got != want {
+			drifted = append(drifted,
+				fmt.Sprintf("%s: %d cycles, baseline %d (%+d)", name, got, want, got-want))
+		}
+	}
+	for _, name := range sortedKeys(current.Benchmarks) {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+
+	for _, name := range fresh {
+		fmt.Printf("qbench: new benchmark %s (%d cycles, not gated)\n",
+			name, current.Benchmarks[name])
+	}
+	if len(drifted) == 0 && len(missing) == 0 {
+		fmt.Printf("qbench: %d benchmarks match the baseline exactly\n",
+			len(baseline.Benchmarks)-len(missing))
+		return
+	}
+	for _, line := range drifted {
+		fmt.Fprintf(os.Stderr, "qbench: cycle drift: %s\n", line)
+	}
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "qbench: benchmark %s missing from this run\n", name)
+	}
+	fmt.Fprintf(os.Stderr,
+		"qbench: FAIL: %d drifted, %d missing (refresh %s if the change is intended)\n",
+		len(drifted), len(missing), *baselinePath)
+	os.Exit(1)
+}
+
+// parse extracts the simcycles metric from go test bench output lines, e.g.
+//
+//	BenchmarkFig68Matmul/pes-4-8   1   937432 ns/op   51742 simcycles   ...
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Metric: "simcycles", Benchmarks: map[string]int64{}}
+	var allNames []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		allNames = append(allNames, name)
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "simcycles" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad simcycles %q", name, fields[i])
+			}
+			rep.Benchmarks[name] = int64(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if suffix := commonProcSuffix(allNames); suffix != "" {
+		trimmed := make(map[string]int64, len(rep.Benchmarks))
+		for name, v := range rep.Benchmarks {
+			trimmed[strings.TrimSuffix(name, suffix)] = v
+		}
+		rep.Benchmarks = trimmed
+	}
+	return rep, nil
+}
+
+// commonProcSuffix returns the "-N" GOMAXPROCS suffix when every benchmark
+// in the run — including top-level names like BenchmarkFig66, which never
+// end in digits of their own — carries the same one, and "" otherwise (in
+// particular on GOMAXPROCS=1 runs, where go test appends nothing).
+func commonProcSuffix(names []string) string {
+	suffix := ""
+	for _, name := range names {
+		s := procSuffix.FindString(name)
+		if s == "" {
+			return ""
+		}
+		if suffix == "" {
+			suffix = s
+		} else if s != suffix {
+			return ""
+		}
+	}
+	return suffix
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "qbench: %v\n", err)
+	os.Exit(1)
+}

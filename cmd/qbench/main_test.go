@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const singleCPU = `goos: linux
+BenchmarkFig66            	       1	       780.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig68Matmul/pes-1 	       1	  1000 ns/op	  201878 simcycles	 10 B/op	 1 allocs/op
+BenchmarkFig68Matmul/pes-4 	       1	  1000 ns/op	   54969 simcycles	 3.672 speedup	 10 B/op	 1 allocs/op
+PASS
+`
+
+const multiCPU = `goos: linux
+BenchmarkFig66-8            	       1	       780.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig68Matmul/pes-1-8 	       1	  1000 ns/op	  201878 simcycles	 10 B/op	 1 allocs/op
+BenchmarkFig68Matmul/pes-4-8 	       1	  1000 ns/op	   54969 simcycles	 3.672 speedup	 10 B/op	 1 allocs/op
+PASS
+`
+
+// TestParseNormalizesProcSuffix checks the property the gate depends on: a
+// GOMAXPROCS=1 run and a GOMAXPROCS=8 run of the same benchmarks parse to
+// identical keys, and "pes-4" style names are never truncated.
+func TestParseNormalizesProcSuffix(t *testing.T) {
+	for _, tc := range []struct {
+		name, out string
+	}{{"single-cpu", singleCPU}, {"multi-cpu", multiCPU}} {
+		rep, err := parse(strings.NewReader(tc.out))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.name, err)
+		}
+		want := map[string]int64{
+			"BenchmarkFig68Matmul/pes-1": 201878,
+			"BenchmarkFig68Matmul/pes-4": 54969,
+		}
+		if len(rep.Benchmarks) != len(want) {
+			t.Fatalf("%s: parsed %v, want %v", tc.name, rep.Benchmarks, want)
+		}
+		for k, v := range want {
+			if rep.Benchmarks[k] != v {
+				t.Errorf("%s: %s = %d, want %d", tc.name, k, rep.Benchmarks[k], v)
+			}
+		}
+	}
+}
+
+// TestCommonProcSuffix pins the heuristic's edge cases.
+func TestCommonProcSuffix(t *testing.T) {
+	for _, tc := range []struct {
+		names []string
+		want  string
+	}{
+		{[]string{"BenchmarkA-8", "BenchmarkB/pes-4-8"}, "-8"},
+		{[]string{"BenchmarkA", "BenchmarkB/pes-4"}, ""},
+		// Mixed endings mean the digits belong to the names, not GOMAXPROCS.
+		{[]string{"BenchmarkB/pes-4", "BenchmarkB/pes-8"}, ""},
+		{nil, ""},
+	} {
+		if got := commonProcSuffix(tc.names); got != tc.want {
+			t.Errorf("commonProcSuffix(%v) = %q, want %q", tc.names, got, tc.want)
+		}
+	}
+}

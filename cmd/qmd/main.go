@@ -9,7 +9,8 @@
 //	qmd                          serve on :8344 with defaults
 //	qmd -addr :9000 -workers 8   explicit listen address and pool size
 //
-// Endpoints: POST /compile, POST /run, GET /healthz, GET /statsz.
+// Endpoints: POST /compile, POST /run, GET /healthz, GET /statsz,
+// GET /metrics (Prometheus text), and — with -pprof — GET /debug/pprof/*.
 // Example:
 //
 //	curl -s localhost:8344/run -d '{"source": "var v[1]:\nseq\n  v[0] := 42\n", "pes": 4}'
@@ -39,6 +40,7 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 		maxBody = flag.Int64("max-body", 1<<20, "request body limit in bytes")
 		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		pprof   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -52,6 +54,7 @@ func main() {
 		CacheEntries:   *cache,
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *timeout,
+		EnablePprof:    *pprof,
 	})
 	srv := &http.Server{
 		Addr:              *addr,

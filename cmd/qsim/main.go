@@ -4,12 +4,19 @@
 // Usage:
 //
 //	qsim -pes 4 prog.qobj
-//	qsim -pes 8 -dump prog.qobj     also dump the final data segment
-//	qsim -pes 4 -json prog.qobj     emit statistics as JSON (the qmd wire format)
+//	qsim -pes 8 -dump prog.qobj           also dump the final data segment
+//	qsim -pes 4 -json prog.qobj           emit statistics as JSON (the qmd wire format)
+//	qsim -pes 4 -trace run.json prog.qobj write a Chrome trace-event file
+//	qsim -pes 4 -timeline 1000 prog.qobj  sample machine gauges every 1000 cycles
+//
+// Exit status: 0 on success, 1 on error, 2 on usage, and 3 when the
+// simulated program deadlocks (the kernel's context snapshot goes to
+// stderr, so scripts and CI can detect hangs without parsing stdout).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,17 +24,20 @@ import (
 	"queuemachine/internal/isa"
 	"queuemachine/internal/service"
 	"queuemachine/internal/sim"
+	"queuemachine/internal/trace"
 )
 
 func main() {
 	var (
-		pes     = flag.Int("pes", 1, "number of processing elements")
-		dump    = flag.Bool("dump", false, "dump the final data segment")
-		jsonOut = flag.Bool("json", false, "emit run statistics as JSON")
+		pes      = flag.Int("pes", 1, "number of processing elements")
+		dump     = flag.Bool("dump", false, "dump the final data segment")
+		jsonOut  = flag.Bool("json", false, "emit run statistics as JSON")
+		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing)")
+		timeline = flag.Int64("timeline", 0, "sample a machine time series every N cycles (0: off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qsim [-pes N] [-dump] program.qobj")
+		fmt.Fprintln(os.Stderr, "usage: qsim [-pes N] [-dump] [-json] [-trace out.json] [-timeline N] program.qobj")
 		os.Exit(2)
 	}
 	blob, err := os.ReadFile(flag.Arg(0))
@@ -38,13 +48,55 @@ func main() {
 	if err := json.Unmarshal(blob, &obj); err != nil {
 		fatal(err)
 	}
-	res, err := sim.Run(&obj, *pes, sim.DefaultParams())
+
+	sys, err := sim.New(&obj, *pes, sim.DefaultParams())
 	if err != nil {
 		fatal(err)
 	}
+	var (
+		chrome *trace.Chrome
+		series *trace.Timeline
+		recs   []trace.Recorder
+	)
+	if *traceOut != "" {
+		chrome = trace.NewChrome(*timeline)
+		recs = append(recs, chrome)
+	}
+	if *timeline > 0 {
+		series = trace.NewTimeline(*timeline)
+		recs = append(recs, series)
+	}
+	sys.SetRecorder(trace.Multi(recs...))
+
+	res, err := sys.Run()
+	if err != nil {
+		var dl *sim.DeadlockError
+		if errors.As(err, &dl) {
+			fmt.Fprintf(os.Stderr, "qsim: %v\n", dl)
+			os.Exit(3)
+		}
+		fatal(err)
+	}
+	if chrome != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := chrome.Write(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	stats := service.NewRunStats(res, *dump)
+	if series != nil {
+		stats.Timeline = series.Series()
+	}
 	if *jsonOut {
 		// The same document the qmd service serves from /run.
-		out, err := json.MarshalIndent(service.NewRunStats(res, *dump), "", "  ")
+		out, err := json.MarshalIndent(stats, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
@@ -64,6 +116,9 @@ func main() {
 	fmt.Printf("ring messages        %d (%d wait cycles)\n", res.Ring.Messages, res.Ring.WaitCycles)
 	fmt.Printf("memory traffic       %d reads, %d writes\n", res.MemReads, res.MemWrites)
 	fmt.Printf("avg queue length     %.2f words\n", res.AvgQueueLength())
+	if series != nil {
+		printTimeline(series.Series())
+	}
 	if *dump {
 		fmt.Printf("data segment (%d words):\n", len(res.Data))
 		for i, v := range res.Data {
@@ -71,6 +126,17 @@ func main() {
 				fmt.Printf("  [%d] = %d\n", i, v)
 			}
 		}
+	}
+}
+
+func printTimeline(s *trace.Series) {
+	fmt.Printf("timeline (bucket %d cycles):\n", s.BucketCycles)
+	fmt.Printf("  %10s %6s %5s %6s %8s %7s %9s\n",
+		"cycle", "util", "live", "ready", "instr", "q-len", "cache-hit")
+	for _, b := range s.Buckets {
+		fmt.Printf("  %10d %6.3f %5d %6d %8d %7.2f %9.3f\n",
+			b.EndCycle, b.Utilization, b.LiveContexts, b.ReadyContexts,
+			b.Instructions, b.AvgQueueLength, b.CacheHitRate)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"queuemachine/internal/pe"
+	"queuemachine/internal/trace"
 )
 
 // Stats aggregates kernel activity for the Chapter 6 statistics tables.
@@ -36,8 +37,13 @@ type Kernel struct {
 	ready    [][]int     // per-PE FIFO of ready context ids
 	resident []int       // per-PE count of live contexts
 	live     int
+	rec      trace.Recorder
 	Stats    Stats
 }
+
+// SetRecorder installs the instrumentation recorder (nil disables). The
+// recorder observes the context lifecycle; it never alters scheduling.
+func (k *Kernel) SetRecorder(rec trace.Recorder) { k.rec = rec }
 
 // New builds a kernel for a system with the given number of processing
 // elements. Channel identifiers start above zero so that 0 can serve as a
@@ -87,8 +93,9 @@ func (k *Kernel) Place(parentPE int) int {
 
 // CreateContext allocates a context for the given graph, assigns it to a
 // processing element chosen by Place, marks it ready, and returns it with
-// its hosting PE. The caller sets the channel registers.
-func (k *Kernel) CreateContext(graph, pageWords, parentID, parentPE int) (*pe.Context, int) {
+// its hosting PE. The caller sets the channel registers. `at` is the
+// simulated time of the creating event, used only for instrumentation.
+func (k *Kernel) CreateContext(graph, pageWords, parentID, parentPE int, at int64) (*pe.Context, int) {
 	id := k.nextCtx
 	k.nextCtx++
 	c := pe.NewContext(id, graph, pageWords)
@@ -103,6 +110,10 @@ func (k *Kernel) CreateContext(graph, pageWords, parentID, parentPE int) (*pe.Co
 		k.Stats.Migrations++
 	}
 	k.ready[target] = append(k.ready[target], id)
+	if k.rec != nil {
+		k.rec.ContextCreated(id, parentID, target, at)
+		k.rec.ContextReady(id, target, len(k.ready[target]), at)
+	}
 	return c, target
 }
 
@@ -126,7 +137,9 @@ func (k *Kernel) Home(id int) (int, error) {
 
 // Ready marks a blocked context runnable, appending it to its processing
 // element's ready queue. The context must not already be queued or running.
-func (k *Kernel) Ready(id int) error {
+// `at` is the simulated time of the unblocking event, used only for
+// instrumentation.
+func (k *Kernel) Ready(id int, at int64) error {
 	c, ok := k.contexts[id]
 	if !ok {
 		return fmt.Errorf("kernel: ready on unknown context %d", id)
@@ -137,6 +150,9 @@ func (k *Kernel) Ready(id int) error {
 	c.Status = pe.Ready
 	p := k.home[id]
 	k.ready[p] = append(k.ready[p], id)
+	if k.rec != nil {
+		k.rec.ContextReady(id, p, len(k.ready[p]), at)
+	}
 	return nil
 }
 
@@ -161,8 +177,9 @@ func (k *Kernel) ReadyCount(peID int) int { return len(k.ready[peID]) }
 func (k *Kernel) Resident(peID int) int { return k.resident[peID] }
 
 // Exit terminates a context (the KExit entry point), releasing its queue
-// page and removing it from its processing element.
-func (k *Kernel) Exit(id int) error {
+// page and removing it from its processing element. `at` is the simulated
+// time of the exit trap, used only for instrumentation.
+func (k *Kernel) Exit(id int, at int64) error {
 	c, ok := k.contexts[id]
 	if !ok {
 		return fmt.Errorf("kernel: exit of unknown context %d", id)
@@ -174,6 +191,9 @@ func (k *Kernel) Exit(id int) error {
 	k.Stats.ContextsFinished++
 	delete(k.contexts, id)
 	delete(k.home, id)
+	if k.rec != nil {
+		k.rec.ContextExited(id, p, at)
+	}
 	return nil
 }
 

@@ -23,14 +23,14 @@ func TestPlacementLeastLoaded(t *testing.T) {
 	// First three contexts land on distinct PEs.
 	seen := map[int]bool{}
 	for i := 0; i < 3; i++ {
-		_, p := k.CreateContext(0, 32, -1, 0)
+		_, p := k.CreateContext(0, 32, -1, 0, 0)
 		if seen[p] {
 			t.Errorf("PE %d reused while others empty", p)
 		}
 		seen[p] = true
 	}
 	// Fourth wraps to the lowest-numbered PE.
-	_, p := k.CreateContext(0, 32, -1, 0)
+	_, p := k.CreateContext(0, 32, -1, 0, 0)
 	if p != 0 {
 		t.Errorf("fourth context on PE %d, want 0", p)
 	}
@@ -44,8 +44,8 @@ func TestPlacementLeastLoaded(t *testing.T) {
 
 func TestReadyQueueFIFO(t *testing.T) {
 	k := New(1)
-	c1, _ := k.CreateContext(0, 32, -1, 0)
-	c2, _ := k.CreateContext(0, 32, -1, 0)
+	c1, _ := k.CreateContext(0, 32, -1, 0, 0)
+	c2, _ := k.CreateContext(0, 32, -1, 0, 0)
 	if k.ReadyCount(0) != 2 {
 		t.Fatalf("ready = %d", k.ReadyCount(0))
 	}
@@ -64,31 +64,31 @@ func TestReadyQueueFIFO(t *testing.T) {
 
 func TestBlockAndReady(t *testing.T) {
 	k := New(1)
-	c, _ := k.CreateContext(0, 32, -1, 0)
+	c, _ := k.CreateContext(0, 32, -1, 0, 0)
 	k.NextReady(0)
 	c.Status = pe.BlockedRecv
-	if err := k.Ready(c.ID); err != nil {
+	if err := k.Ready(c.ID, 0); err != nil {
 		t.Fatal(err)
 	}
 	if c.Status != pe.Ready || k.ReadyCount(0) != 1 {
 		t.Error("ready transition broken")
 	}
 	// Double-ready is rejected.
-	if err := k.Ready(c.ID); err == nil {
+	if err := k.Ready(c.ID, 0); err == nil {
 		t.Error("double ready accepted")
 	}
-	if err := k.Ready(999); err == nil {
+	if err := k.Ready(999, 0); err == nil {
 		t.Error("unknown context accepted")
 	}
 }
 
 func TestExitLifecycle(t *testing.T) {
 	k := New(2)
-	c, p := k.CreateContext(0, 32, -1, 0)
+	c, p := k.CreateContext(0, 32, -1, 0, 0)
 	if k.Live() != 1 || k.Resident(p) != 1 {
 		t.Fatal("creation accounting")
 	}
-	if err := k.Exit(c.ID); err != nil {
+	if err := k.Exit(c.ID, 0); err != nil {
 		t.Fatal(err)
 	}
 	if k.Live() != 0 || k.Resident(p) != 0 {
@@ -97,7 +97,7 @@ func TestExitLifecycle(t *testing.T) {
 	if _, err := k.Context(c.ID); err == nil {
 		t.Error("dead context still reachable")
 	}
-	if err := k.Exit(c.ID); err == nil {
+	if err := k.Exit(c.ID, 0); err == nil {
 		t.Error("double exit accepted")
 	}
 	if _, err := k.Home(c.ID); err == nil {
@@ -107,7 +107,7 @@ func TestExitLifecycle(t *testing.T) {
 
 func TestSnapshot(t *testing.T) {
 	k := New(1)
-	k.CreateContext(3, 32, 7, 0)
+	k.CreateContext(3, 32, 7, 0, 0)
 	snap := k.Snapshot()
 	if len(snap) != 1 || !strings.Contains(snap[0], "graph 3") || !strings.Contains(snap[0], "parent 7") {
 		t.Errorf("snapshot = %v", snap)
@@ -116,7 +116,7 @@ func TestSnapshot(t *testing.T) {
 
 func TestContextLookup(t *testing.T) {
 	k := New(1)
-	c, _ := k.CreateContext(0, 32, -1, 0)
+	c, _ := k.CreateContext(0, 32, -1, 0, 0)
 	got, err := k.Context(c.ID)
 	if err != nil || got != c {
 		t.Error("lookup failed")

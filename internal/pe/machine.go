@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"queuemachine/internal/isa"
+	"queuemachine/internal/trace"
 )
 
 // MemoryBus provides data-memory access to the processing element. The
@@ -116,12 +117,18 @@ type Machine struct {
 	Prog   *Program
 	Mem    MemoryBus
 	Stats  Stats
+	rec    trace.Recorder
 }
 
 // NewMachine builds a processing element bound to a program and memory bus.
 func NewMachine(peID int, params Params, prog *Program, mem MemoryBus) *Machine {
 	return &Machine{PEID: peID, Params: params, Prog: prog, Mem: mem}
 }
+
+// SetRecorder installs the instrumentation recorder (nil disables). With a
+// recorder installed, every retired instruction is reported via the Instr
+// hook; with none, the execute path pays a single nil check.
+func (m *Machine) SetRecorder(rec trace.Recorder) { m.rec = rec }
 
 // readSrc evaluates a source operand, returning its value and any extra
 // cycles beyond the base instruction cost.
@@ -210,8 +217,23 @@ func (c *Context) advanceQP(n int) {
 // ExecOne executes the instruction at the context's program counter. On a
 // blocking action the program counter and queue pointer are already
 // advanced; the pending destinations are stored in the context for
-// Complete.
-func (m *Machine) ExecOne(c *Context) (Outcome, error) {
+// Complete. `now` is the simulated time of the issue, used only for
+// instrumentation.
+func (m *Machine) ExecOne(c *Context, now int64) (Outcome, error) {
+	if m.rec == nil {
+		return m.execOne(c)
+	}
+	graph, pc := c.Graph, c.PC
+	out, err := m.execOne(c)
+	if err == nil {
+		op := m.Prog.graphs[graph][pc].in.Op
+		info, _ := isa.Lookup(op)
+		m.rec.Instr(m.PEID, c.ID, graph, pc, info.Mnemonic, now, out.Cycles)
+	}
+	return out, err
+}
+
+func (m *Machine) execOne(c *Context) (Outcome, error) {
 	g := m.Prog.graphs[c.Graph]
 	d, ok := g[c.PC]
 	if !ok {

@@ -14,7 +14,7 @@ func runToExit(t *testing.T, m *Machine, c *Context, maxInstr int) int {
 	t.Helper()
 	cycles := 0
 	for i := 0; i < maxInstr; i++ {
-		out, err := m.ExecOne(c)
+		out, err := m.ExecOne(c, 0)
 		if err != nil {
 			t.Fatalf("ExecOne: %v", err)
 		}
@@ -120,7 +120,7 @@ func TestDupWritesMemoryPage(t *testing.T) {
 `)
 	// Execute the first two instructions and inspect presence bits.
 	for i := 0; i < 2; i++ {
-		if _, err := m.ExecOne(c); err != nil {
+		if _, err := m.ExecOne(c, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -136,7 +136,7 @@ func TestDupWritesMemoryPage(t *testing.T) {
 	}
 	// The plus that consumes r0,r1 sees one hit (r0) and one miss (r1).
 	hits, misses := m.Stats.WindowHits, m.Stats.WindowMisses
-	if _, err := m.ExecOne(c); err != nil {
+	if _, err := m.ExecOne(c, 0); err != nil {
 		t.Fatal(err)
 	}
 	if m.Stats.WindowHits != hits+1 || m.Stats.WindowMisses != misses+1 {
@@ -194,10 +194,10 @@ func TestSendRecvActions(t *testing.T) {
 	recv #7 :r0
 	trap #0,#0
 `)
-	if _, err := m.ExecOne(c); err != nil {
+	if _, err := m.ExecOne(c, 0); err != nil {
 		t.Fatal(err)
 	}
-	out, err := m.ExecOne(c)
+	out, err := m.ExecOne(c, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestSendRecvActions(t *testing.T) {
 	if !ok || send.Ch != 7 || send.Val != 3 {
 		t.Fatalf("send action = %#v", out.Action)
 	}
-	out, err = m.ExecOne(c)
+	out, err = m.ExecOne(c, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +229,7 @@ func TestTrapChannels(t *testing.T) {
 	trap #1,#0 :r17,r18
 	trap #0,#0
 `)
-	out, err := m.ExecOne(c)
+	out, err := m.ExecOne(c, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +262,7 @@ func TestRollOutAndSwitchCost(t *testing.T) {
 	trap #0,#0
 `)
 	for i := 0; i < 3; i++ {
-		if _, err := m.ExecOne(c); err != nil {
+		if _, err := m.ExecOne(c, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -311,14 +311,14 @@ func TestErrors(t *testing.T) {
 	div #1,#0 :r0
 	trap #0,#0
 `)
-	if _, err := m.ExecOne(c); err == nil || !strings.Contains(err.Error(), "division") {
+	if _, err := m.ExecOne(c, 0); err == nil || !strings.Contains(err.Error(), "division") {
 		t.Errorf("division by zero: %v", err)
 	}
 
 	// Bad PC.
 	c2 := NewContext(1, 0, 32)
 	c2.PC = 999
-	if _, err := m.ExecOne(c2); err == nil {
+	if _, err := m.ExecOne(c2, 0); err == nil {
 		t.Error("bad PC accepted")
 	}
 
@@ -328,7 +328,7 @@ func TestErrors(t *testing.T) {
 	fetch #-4 :r0
 	trap #0,#0
 `)
-	if _, err := m3.ExecOne(c3); err == nil {
+	if _, err := m3.ExecOne(c3, 0); err == nil {
 		t.Error("negative address accepted")
 	}
 	_ = c

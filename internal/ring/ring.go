@@ -9,7 +9,11 @@
 // deterministically.
 package ring
 
-import "fmt"
+import (
+	"fmt"
+
+	"queuemachine/internal/trace"
+)
 
 // Params sets the interconnect timing.
 type Params struct {
@@ -40,8 +44,13 @@ type Ring struct {
 	params     Params
 	busFree    []int64 // next free time per partition bus
 	linkFree   []int64 // next free time per ring link i -> (i+1) mod n
+	rec        trace.Recorder
 	Stats      Stats
 }
+
+// SetRecorder installs the instrumentation recorder (nil disables). The
+// recorder observes transfers; it never alters their timing.
+func (r *Ring) SetRecorder(rec trace.Recorder) { r.rec = rec }
 
 // New builds a ring of the given number of processing elements divided into
 // the given number of partitions. The PE count must divide evenly; one
@@ -92,10 +101,11 @@ func (r *Ring) Transfer(now int64, from, to int) int64 {
 		return now
 	}
 	t := now
+	var waited int64
 	a, b := r.Partition(from), r.Partition(to)
 	acquire := func(free *int64, occupancy int64) {
 		if *free > t {
-			r.Stats.WaitCycles += *free - t
+			waited += *free - t
 			t = *free
 		}
 		t += occupancy
@@ -126,6 +136,10 @@ func (r *Ring) Transfer(now int64, from, to int) int64 {
 		acquire(&r.busFree[b], r.params.BusCycles)
 	} else {
 		r.Stats.LocalMsgs++
+	}
+	r.Stats.WaitCycles += waited
+	if r.rec != nil {
+		r.rec.RingTransfer(from, to, now, t, waited)
 	}
 	return t
 }

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"queuemachine/internal/compile"
 	"queuemachine/internal/isa"
@@ -147,6 +148,7 @@ func (s *Service) compileCached(src string, opts compile.Options) (*compile.Arti
 }
 
 func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("compile", time.Now())
 	s.compiles.Add(1)
 	if s.draining.Load() {
 		s.error(w, errClosed)
@@ -184,6 +186,7 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	defer s.observe("run", time.Now())
 	s.runs.Add(1)
 	if s.draining.Load() {
 		s.error(w, errClosed)
@@ -236,6 +239,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 			// properties of the submitted program.
 			return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
 		}
+		s.cyclesServed.Add(res.Cycles)
 		resp.Stats = NewRunStats(res, req.DumpData)
 		return resp, nil
 	})

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds, in seconds, of the request-latency
+// histograms. The spread covers cache hits (sub-millisecond) through
+// deadline-bounded simulations (tens of seconds).
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 5, 30}
+
+// histogram is a fixed-bucket latency histogram with lock-free observation,
+// exposed in Prometheus exposition format (cumulative bucket counts plus
+// _sum and _count).
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	h.counts[sort.SearchFloat64s(h.bounds, d.Seconds())].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// observe records one request's latency on the endpoint's histogram; use as
+// `defer s.observe(endpoint, time.Now())`.
+func (s *Service) observe(endpoint string, start time.Time) {
+	if h := s.latency[endpoint]; h != nil {
+		h.observe(time.Since(start))
+	}
+}
+
+// handleMetrics serves the service counters in Prometheus text exposition
+// format (version 0.0.4). The counters are the same ones /statsz reports as
+// JSON: after any fixed request sequence the two documents agree.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	counter := func(name, help string, pairs ...any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for i := 0; i < len(pairs); i += 2 {
+			fmt.Fprintf(w, "%s%s %d\n", name, pairs[i], pairs[i+1])
+		}
+	}
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+
+	counter("qmd_requests_total", "Requests received, by endpoint.",
+		`{endpoint="compile"}`, st.Compiles, `{endpoint="run"}`, st.Runs)
+	counter("qmd_shed_total", "Requests rejected with 429 because the admission queue was full.",
+		"", st.Rejected)
+	counter("qmd_errors_total", "Requests answered with a non-shed error status.",
+		"", st.Errors)
+	counter("qmd_sim_cycles_total", "Simulated cycles served by successful runs.",
+		"", st.CyclesServed)
+	counter("qmd_cache_hits_total", "Artifact cache hits.", "", st.Cache.Hits)
+	counter("qmd_cache_misses_total", "Artifact cache misses.", "", st.Cache.Misses)
+	counter("qmd_cache_evictions_total", "Artifact cache evictions.", "", st.Cache.Evictions)
+	gauge("qmd_cache_entries", "Artifacts resident in the cache.", st.Cache.Entries)
+	gauge("qmd_cache_capacity", "Artifact cache capacity.", st.Cache.Capacity)
+	gauge("qmd_pool_workers", "Worker pool size.", st.Workers)
+	gauge("qmd_pool_in_flight", "Jobs currently executing.", st.InFlight)
+	gauge("qmd_pool_queued", "Jobs waiting in the admission queue.", st.Queued)
+	gauge("qmd_pool_queue_capacity", "Admission queue capacity.", st.QueueCapacity)
+	gauge("qmd_draining", "1 while the service is draining, else 0.", boolGauge(st.Draining))
+	gauge("qmd_uptime_seconds", "Seconds since the service started.",
+		fmt.Sprintf("%.3f", st.UptimeSeconds))
+
+	fmt.Fprintf(w, "# HELP qmd_request_seconds Request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE qmd_request_seconds histogram\n")
+	for _, endpoint := range []string{"compile", "run"} {
+		h := s.latency[endpoint]
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "qmd_request_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				endpoint, formatBound(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "qmd_request_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", endpoint, cum)
+		fmt.Fprintf(w, "qmd_request_seconds_sum{endpoint=%q} %g\n",
+			endpoint, time.Duration(h.sumNs.Load()).Seconds())
+		fmt.Fprintf(w, "qmd_request_seconds_count{endpoint=%q} %d\n", endpoint, h.count.Load())
+	}
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do: shortest
+// decimal form ("0.005", "1", "30").
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}

@@ -9,7 +9,10 @@
 //	POST /compile   OCCAM source → object program (cached by fingerprint)
 //	POST /run       source or object → full simulation statistics
 //	GET  /healthz   liveness (503 while draining)
-//	GET  /statsz    service, queue, and cache counters
+//	GET  /statsz    service, queue, and cache counters (JSON)
+//	GET  /metrics   the same counters in Prometheus text format, plus
+//	                per-endpoint latency histograms
+//	GET  /debug/pprof/*  runtime profiles, only when Config.EnablePprof
 //
 // Compiled artifacts are keyed by compile.Fingerprint — the SHA-256 of
 // (source, options) — so a repeated compile of identical source is served
@@ -23,6 +26,7 @@ package service
 import (
 	"context"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync/atomic"
 	"time"
@@ -54,6 +58,9 @@ type Config struct {
 	// Sim is the base machine configuration; request params overlay it
 	// (default: sim.DefaultParams()).
 	Sim *sim.Params
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: the profiles expose internals and cost CPU while sampling.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,14 +94,16 @@ func (c Config) withDefaults() Config {
 
 // Service is one compile-and-simulate server instance.
 type Service struct {
-	cfg   Config
-	cache *artifactCache
-	pool  *pool
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	cache   *artifactCache
+	pool    *pool
+	mux     *http.ServeMux
+	start   time.Time
+	latency map[string]*histogram // per-endpoint request latency
 
 	draining                        atomic.Bool
 	compiles, runs, rejected, fails atomic.Int64
+	cyclesServed                    atomic.Int64
 }
 
 // New builds a service; it is ready to serve as soon as its Handler is
@@ -107,11 +116,23 @@ func New(cfg Config) *Service {
 		pool:  newPool(cfg.Workers, cfg.QueueDepth),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
+		latency: map[string]*histogram{
+			"compile": newHistogram(latencyBuckets),
+			"run":     newHistogram(latencyBuckets),
+		},
 	}
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("POST /run", s.handleRun)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"queuemachine/internal/sim"
+	"queuemachine/internal/trace"
 )
 
 // RunStats is the machine-readable view of one simulation run, shared by
@@ -32,6 +33,9 @@ type RunStats struct {
 	// Data is the final static data segment, included only on request
 	// (it can dwarf the statistics).
 	Data []int32 `json:"data,omitempty"`
+	// Timeline is the cycle-sampled time series, present only when the run
+	// was collected with one (qsim -timeline).
+	Timeline *trace.Series `json:"timeline,omitempty"`
 }
 
 // NewRunStats projects a sim.Result into its serving form. The data
@@ -66,17 +70,19 @@ func NewRunStats(res *sim.Result, includeData bool) *RunStats {
 
 // ServiceStats is the /statsz document.
 type ServiceStats struct {
-	UptimeSeconds float64    `json:"uptime_seconds"`
-	Draining      bool       `json:"draining"`
-	Compiles      int64      `json:"compiles"`
-	Runs          int64      `json:"runs"`
-	Rejected      int64      `json:"rejected"`
-	Errors        int64      `json:"errors"`
-	Workers       int        `json:"workers"`
-	InFlight      int64      `json:"in_flight"`
-	Queued        int        `json:"queued"`
-	QueueCapacity int        `json:"queue_capacity"`
-	Cache         CacheStats `json:"cache"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+	Compiles      int64   `json:"compiles"`
+	Runs          int64   `json:"runs"`
+	Rejected      int64   `json:"rejected"`
+	Errors        int64   `json:"errors"`
+	Workers       int     `json:"workers"`
+	InFlight      int64   `json:"in_flight"`
+	Queued        int     `json:"queued"`
+	QueueCapacity int     `json:"queue_capacity"`
+	// CyclesServed totals the simulated cycles of every successful /run.
+	CyclesServed int64      `json:"cycles_served"`
+	Cache        CacheStats `json:"cache"`
 }
 
 // Stats snapshots the service counters.
@@ -92,6 +98,7 @@ func (s *Service) Stats() ServiceStats {
 		InFlight:      s.pool.inFlight.Load(),
 		Queued:        s.pool.queued(),
 		QueueCapacity: s.pool.capacity(),
+		CyclesServed:  s.cyclesServed.Load(),
 		Cache:         s.cache.stats(),
 	}
 }

@@ -4,13 +4,13 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
-	"strings"
 
 	"queuemachine/internal/isa"
 	"queuemachine/internal/kernel"
 	"queuemachine/internal/mcache"
 	"queuemachine/internal/pe"
 	"queuemachine/internal/ring"
+	"queuemachine/internal/trace"
 )
 
 // Result reports one simulated run.
@@ -77,6 +77,13 @@ type System struct {
 	running []*pe.Context
 	lastCtx []*pe.Context // context whose window registers are loaded
 
+	// rec is the instrumentation recorder; nil (the default) disables every
+	// hook behind a single pointer test. sampleEvery/nextSample drive the
+	// cycle-sampled Sample callbacks.
+	rec         trace.Recorder
+	sampleEvery int64
+	nextSample  int64
+
 	switches, resumes, rolledRegs int64
 	instructions                  int64
 	endTime                       int64
@@ -123,6 +130,25 @@ func New(obj *isa.Object, numPEs int, params Params) (*System, error) {
 	return s, nil
 }
 
+// SetRecorder installs an instrumentation recorder on the system and every
+// unit beneath it (processing elements, kernel, ring); nil uninstalls. The
+// recorder observes the run — it never changes event timing, so cycle counts
+// are bit-identical with and without one. Call before Run; recorders are not
+// safe for use across concurrent systems.
+func (s *System) SetRecorder(rec trace.Recorder) {
+	s.rec = rec
+	s.kern.SetRecorder(rec)
+	s.bus.SetRecorder(rec)
+	for _, m := range s.machines {
+		m.SetRecorder(rec)
+	}
+	s.sampleEvery = 0
+	if rec != nil {
+		s.sampleEvery = rec.SampleEvery()
+	}
+	s.nextSample = s.sampleEvery
+}
+
 // Run executes the program to completion and returns the run statistics.
 func Run(obj *isa.Object, numPEs int, params Params) (*Result, error) {
 	return RunContext(context.Background(), obj, numPEs, params)
@@ -153,7 +179,7 @@ const ctxPollEvents = 1024
 func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	// The initial context executes the entry graph on the least-loaded
 	// (hence first) processing element, with fresh in/out channels.
-	main, target := s.kern.CreateContext(s.prog.Obj.Entry, s.prog.QueueWords(s.prog.Obj.Entry), -1, 0)
+	main, target := s.kern.CreateContext(s.prog.Obj.Entry, s.prog.QueueWords(s.prog.Obj.Entry), -1, 0, 0)
 	main.SetChannels(s.kern.AllocChannel(), s.kern.AllocChannel())
 	s.scheduleKick(target, 0)
 
@@ -172,6 +198,12 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		if s.now > s.p.MaxCycles {
 			s.err = fmt.Errorf("sim: exceeded %d cycles", s.p.MaxCycles)
 			break
+		}
+		if s.sampleEvery > 0 {
+			for s.now >= s.nextSample {
+				s.emitSample(s.nextSample)
+				s.nextSample += s.sampleEvery
+			}
 		}
 		switch e.kind {
 		case evStep:
@@ -192,8 +224,11 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		return nil, s.err
 	}
 	if !s.finished {
-		return nil, fmt.Errorf("sim: deadlock with %d live contexts:\n%s",
-			s.kern.Live(), strings.Join(s.kern.Snapshot(), "\n"))
+		return nil, &DeadlockError{Cycle: s.now, Live: s.kern.Live(), Snapshot: s.kern.Snapshot()}
+	}
+	if s.sampleEvery > 0 {
+		// Close the final (possibly short) bucket at the end of the run.
+		s.emitSample(s.endTime)
 	}
 	res := &Result{
 		Cycles:          s.endTime,
@@ -240,6 +275,31 @@ func (s *System) fail(err error) {
 	}
 }
 
+// emitSample snapshots the machine-wide counters for the recorder's Sample
+// hook. Only runs when a sampling recorder is installed; cost is O(numPEs)
+// per boundary.
+func (s *System) emitSample(at int64) {
+	ms := trace.MachineSample{
+		NumPEs:         s.numPEs,
+		LiveContexts:   s.kern.Live(),
+		RingMessages:   s.bus.Stats.Messages,
+		RingWaitCycles: s.bus.Stats.WaitCycles,
+	}
+	for p := 0; p < s.numPEs; p++ {
+		ms.ReadyContexts += s.kern.ReadyCount(p)
+		if s.running[p] != nil {
+			ms.RunningPEs++
+		}
+		st := &s.machines[p].Stats
+		ms.BusyCycles += st.Cycles
+		ms.Instructions += st.Instructions
+		ms.QueueSum += st.QueueSum
+		ms.CacheHits += s.caches[p].Stats.Hits
+		ms.CacheMisses += s.caches[p].Stats.Misses
+	}
+	s.rec.Sample(at, ms)
+}
+
 // dispatch starts the next ready context on an idle processing element,
 // charging the context-switch or resume cost.
 func (s *System) dispatch(peID int) {
@@ -252,7 +312,8 @@ func (s *System) dispatch(peID int) {
 	}
 	s.running[peID] = c
 	var cost int64
-	if s.lastCtx[peID] == c {
+	resumed := s.lastCtx[peID] == c
+	if resumed {
 		// The context's window registers are still loaded.
 		cost = s.p.Resume
 		s.resumes++
@@ -266,6 +327,9 @@ func (s *System) dispatch(peID int) {
 		s.switches++
 	}
 	s.lastCtx[peID] = c
+	if s.rec != nil {
+		s.rec.BeginRun(peID, c.ID, s.now+cost, cost, resumed)
+	}
 	s.schedule(s.now+cost, &event{kind: evStep, pe: peID, ctx: c.ID})
 }
 
@@ -279,7 +343,7 @@ func (s *System) handleStep(e *event) {
 		s.fail(fmt.Errorf("sim: exceeded %d instructions", s.p.MaxInstructions))
 		return
 	}
-	out, err := s.machines[e.pe].ExecOne(c)
+	out, err := s.machines[e.pe].ExecOne(c, s.now)
 	if err != nil {
 		s.fail(err)
 		return
@@ -291,11 +355,17 @@ func (s *System) handleStep(e *event) {
 	case pe.SendAction:
 		c.Status = pe.BlockedSend
 		s.running[e.pe] = nil
+		if s.rec != nil {
+			s.rec.EndRun(e.pe, c.ID, t, trace.EndBlockedSend)
+		}
 		s.routeChanOp(t, e.pe, opSend, a.Ch, a.Val, c.ID)
 		s.scheduleKick(e.pe, t)
 	case pe.RecvAction:
 		c.Status = pe.BlockedRecv
 		s.running[e.pe] = nil
+		if s.rec != nil {
+			s.rec.EndRun(e.pe, c.ID, t, trace.EndBlockedRecv)
+		}
 		s.routeChanOp(t, e.pe, opRecv, a.Ch, 0, c.ID)
 		s.scheduleKick(e.pe, t)
 	case pe.TrapAction:
@@ -342,6 +412,13 @@ func (s *System) handleChanReq(e *event) {
 	}
 	finish := start + cost
 	s.mpFree[home] = finish
+	if s.rec != nil {
+		op := trace.ChanSend
+		if e.op == opRecv {
+			op = trace.ChanRecv
+		}
+		s.rec.MsgOp(home, e.ch, op, start, finish, !missed, done != nil)
+	}
 	if done == nil {
 		return // party parked in the cache until its partner arrives
 	}
@@ -369,7 +446,7 @@ func (s *System) handleRecvDone(e *event) {
 		s.fail(err)
 		return
 	}
-	if err := s.kern.Ready(c.ID); err != nil {
+	if err := s.kern.Ready(c.ID, s.now); err != nil {
 		s.fail(err)
 		return
 	}
@@ -382,7 +459,7 @@ func (s *System) handleSendDone(e *event) {
 		s.fail(err)
 		return
 	}
-	if err := s.kern.Ready(c.ID); err != nil {
+	if err := s.kern.Ready(c.ID, s.now); err != nil {
 		s.fail(err)
 		return
 	}
@@ -400,7 +477,7 @@ func (s *System) handleWake(e *event) {
 		s.fail(err)
 		return
 	}
-	if err := s.kern.Ready(c.ID); err != nil {
+	if err := s.kern.Ready(c.ID, s.now); err != nil {
 		s.fail(err)
 		return
 	}
@@ -414,7 +491,10 @@ func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
 		if s.lastCtx[peID] == c {
 			s.lastCtx[peID] = nil
 		}
-		if err := s.kern.Exit(c.ID); err != nil {
+		if s.rec != nil {
+			s.rec.EndRun(peID, c.ID, t, trace.EndExited)
+		}
+		if err := s.kern.Exit(c.ID, t); err != nil {
 			s.fail(err)
 			return
 		}
@@ -431,7 +511,7 @@ func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
 			s.fail(fmt.Errorf("sim: context %d forks unknown graph %d", c.ID, gi))
 			return
 		}
-		child, target := s.kern.CreateContext(gi, s.prog.QueueWords(gi), c.ID, peID)
+		child, target := s.kern.CreateContext(gi, s.prog.QueueWords(gi), c.ID, peID, t)
 		cin := s.kern.AllocChannel()
 		var cout int32
 		if a.Code == isa.KRFork {
@@ -472,6 +552,9 @@ func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
 	case isa.KWait:
 		c.Status = pe.BlockedWait
 		s.running[peID] = nil
+		if s.rec != nil {
+			s.rec.EndRun(peID, c.ID, t, trace.EndBlockedWait)
+		}
 		wake := max(t, int64(a.Arg))
 		s.schedule(wake, &event{kind: evWake, pe: peID, ctx: c.ID})
 		s.scheduleKick(peID, t)

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+
+	"queuemachine/internal/pe"
+	"queuemachine/internal/trace"
+)
+
+// runEvent is one BeginRun/EndRun observation, kept in arrival order.
+type runEvent struct {
+	begin   bool
+	pe, ctx int
+	at      int64
+}
+
+// captureRecorder records enough of the hook stream to check the event
+// loop's instrumentation invariants.
+type captureRecorder struct {
+	trace.NopRecorder
+	every int64
+
+	runs       []runEvent
+	creates    int
+	exits      int
+	instrs     int64
+	rendezvous int
+	msgOps     int
+	samples    []trace.MachineSample
+	sampleAts  []int64
+}
+
+func (c *captureRecorder) SampleEvery() int64 { return c.every }
+
+func (c *captureRecorder) BeginRun(pe, ctx int, at, _ int64, _ bool) {
+	c.runs = append(c.runs, runEvent{begin: true, pe: pe, ctx: ctx, at: at})
+}
+
+func (c *captureRecorder) EndRun(pe, ctx int, at int64, _ trace.EndReason) {
+	c.runs = append(c.runs, runEvent{pe: pe, ctx: ctx, at: at})
+}
+
+func (c *captureRecorder) Instr(_, _, _, _ int, _ string, _ int64, _ int) { c.instrs++ }
+
+func (c *captureRecorder) ContextCreated(_, _, _ int, _ int64) { c.creates++ }
+func (c *captureRecorder) ContextExited(_, _ int, _ int64)     { c.exits++ }
+
+func (c *captureRecorder) MsgOp(_ int, _ int32, _ trace.ChanOp, start, end int64, _, completed bool) {
+	c.msgOps++
+	if completed {
+		c.rendezvous++
+	}
+}
+
+func (c *captureRecorder) Sample(at int64, s trace.MachineSample) {
+	c.samples = append(c.samples, s)
+	c.sampleAts = append(c.sampleAts, at)
+}
+
+// runTraced executes src with the given recorder installed.
+func runTraced(t *testing.T, src string, numPEs int, rec trace.Recorder) *Result {
+	t.Helper()
+	sys, err := New(assemble(t, src), numPEs, DefaultParams())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sys.SetRecorder(rec)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+// TestTracedRunMatchesUntraced is the zero-overhead contract's observable
+// half: installing a recorder must not change the simulation.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	src := fanOut(4, 10)
+	plain := run(t, src, 4)
+	traced := runTraced(t, src, 4, &captureRecorder{every: 100})
+	if plain.Cycles != traced.Cycles || plain.Instructions != traced.Instructions {
+		t.Errorf("traced run diverged: cycles %d vs %d, instructions %d vs %d",
+			plain.Cycles, traced.Cycles, plain.Instructions, traced.Instructions)
+	}
+	if plain.Cache.Rendezvous != traced.Cache.Rendezvous ||
+		plain.Kernel.ContextsCreated != traced.Kernel.ContextsCreated {
+		t.Errorf("traced run diverged: %+v vs %+v", plain.Kernel, traced.Kernel)
+	}
+}
+
+func TestRecorderEventInvariants(t *testing.T) {
+	cap := &captureRecorder{every: 50}
+	res := runTraced(t, fanOut(4, 10), 4, cap)
+
+	// Each PE alternates BeginRun/EndRun for the same context, and a run
+	// never ends before it begins.
+	open := map[int]*runEvent{}
+	for i := range cap.runs {
+		e := &cap.runs[i]
+		if e.begin {
+			if prev := open[e.pe]; prev != nil {
+				t.Fatalf("PE %d: BeginRun(ctx %d) while ctx %d still running", e.pe, e.ctx, prev.ctx)
+			}
+			open[e.pe] = e
+			continue
+		}
+		prev := open[e.pe]
+		if prev == nil || prev.ctx != e.ctx {
+			t.Fatalf("PE %d: EndRun(ctx %d) without matching BeginRun", e.pe, e.ctx)
+		}
+		if e.at < prev.at {
+			t.Fatalf("PE %d ctx %d: run ends at %d before it begins at %d", e.pe, e.ctx, e.at, prev.at)
+		}
+		open[e.pe] = nil
+	}
+
+	if int64(cap.creates) != res.Kernel.ContextsCreated {
+		t.Errorf("ContextCreated hooks = %d, kernel created %d", cap.creates, res.Kernel.ContextsCreated)
+	}
+	if int64(cap.exits) != res.Kernel.ContextsFinished {
+		t.Errorf("ContextExited hooks = %d, kernel finished %d", cap.exits, res.Kernel.ContextsFinished)
+	}
+	if cap.instrs != res.Instructions {
+		t.Errorf("Instr hooks = %d, result reports %d instructions", cap.instrs, res.Instructions)
+	}
+	if int64(cap.rendezvous) != res.Cache.Rendezvous {
+		t.Errorf("completed MsgOps = %d, cache reports %d rendezvous", cap.rendezvous, res.Cache.Rendezvous)
+	}
+
+	// Samples arrive in time order with non-decreasing cumulative counters,
+	// and the final sample matches the end-of-run aggregates.
+	if len(cap.samples) == 0 {
+		t.Fatal("no samples delivered")
+	}
+	for i := 1; i < len(cap.samples); i++ {
+		if cap.sampleAts[i] <= cap.sampleAts[i-1] {
+			t.Errorf("sample %d at %d not after sample %d at %d", i, cap.sampleAts[i], i-1, cap.sampleAts[i-1])
+		}
+		a, b := cap.samples[i-1], cap.samples[i]
+		if b.Instructions < a.Instructions || b.BusyCycles < a.BusyCycles ||
+			b.CacheHits < a.CacheHits || b.RingMessages < a.RingMessages {
+			t.Errorf("cumulative counters regressed between samples %d and %d: %+v -> %+v", i-1, i, a, b)
+		}
+	}
+	last := cap.samples[len(cap.samples)-1]
+	if last.Instructions != res.Instructions {
+		t.Errorf("final sample instructions = %d, result %d", last.Instructions, res.Instructions)
+	}
+	if cap.sampleAts[len(cap.sampleAts)-1] != res.Cycles {
+		t.Errorf("final sample at %d, run ended at %d", cap.sampleAts[len(cap.sampleAts)-1], res.Cycles)
+	}
+}
+
+// TestTracedRunsInParallel exercises the hook paths under the race detector:
+// concurrent simulations each own a recorder and must not share state.
+func TestTracedRunsInParallel(t *testing.T) {
+	src := fanOut(3, 8)
+	obj := assemble(t, src)
+	want := run(t, src, 2).Cycles
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys, err := New(obj, 2, DefaultParams())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sys.SetRecorder(trace.Multi(trace.NewChrome(0), trace.NewTimeline(100)))
+			res, err := sys.Run()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Cycles != want {
+				t.Errorf("cycles = %d, want %d", res.Cycles, want)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestChromeTraceEndToEnd runs a real multi-context program under the Chrome
+// recorder and checks the serialized document is valid trace-event JSON.
+func TestChromeTraceEndToEnd(t *testing.T) {
+	chrome := trace.NewChrome(100)
+	runTraced(t, fanOut(4, 10), 4, chrome)
+	var buf bytes.Buffer
+	if err := chrome.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace is empty")
+	}
+	phases := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Pid != 1 || e.Ph == "" {
+			t.Fatalf("malformed event %+v", e)
+		}
+		phases[e.Ph] = true
+	}
+	for _, ph := range []string{"X", "i", "C", "M"} {
+		if !phases[ph] {
+			t.Errorf("trace has no %q events", ph)
+		}
+	}
+}
+
+func TestDeadlockErrorIsTyped(t *testing.T) {
+	_, err := Run(assemble(t, deadlocked), 2, DefaultParams())
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want *DeadlockError, got %T: %v", err, err)
+	}
+	if dl.Cycle <= 0 || dl.Live <= 0 || len(dl.Snapshot) == 0 {
+		t.Errorf("deadlock detail = %+v", dl)
+	}
+}
+
+func TestResultEdgeCases(t *testing.T) {
+	// A zero-value result — no cycles, no PEs — reports zero, not NaN.
+	var empty Result
+	if got := empty.Utilization(); got != 0 {
+		t.Errorf("empty Utilization = %v", got)
+	}
+	if got := empty.AvgQueueLength(); got != 0 {
+		t.Errorf("empty AvgQueueLength = %v", got)
+	}
+	// Cycles elapsed but no instruction ever retired (all PEs idle).
+	idle := Result{Cycles: 100, PEStats: []pe.Stats{{}, {}}}
+	if got := idle.Utilization(); got != 0 {
+		t.Errorf("idle Utilization = %v", got)
+	}
+	if got := idle.AvgQueueLength(); got != 0 {
+		t.Errorf("idle AvgQueueLength = %v", got)
+	}
+	// PE stats present but zero simulated cycles.
+	degenerate := Result{PEStats: []pe.Stats{{Cycles: 5, Instructions: 2, QueueSum: 6}}}
+	if got := degenerate.Utilization(); got != 0 {
+		t.Errorf("zero-cycle Utilization = %v", got)
+	}
+	if got := degenerate.AvgQueueLength(); got != 3 {
+		t.Errorf("AvgQueueLength = %v, want 3", got)
+	}
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Lane numbering for the Chrome trace: processing elements occupy the low
+// thread ids, each message processor sits at mpLaneBase+pe, and the ring
+// interconnect has a single lane of its own. Everything shares one process.
+const (
+	chromePid  = 1
+	mpLaneBase = 1000
+	ringLane   = 2000
+)
+
+// chromeEvent is one entry of the trace-event JSON format's traceEvents
+// array (complete slices "X", instants "i", counters "C", and thread
+// metadata "M" are the phases used here).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Chrome records the run as Chrome trace-event JSON: one lane per
+// processing element carrying the context-occupancy slices and fork/exit
+// instants, one lane per message processor carrying channel-operation
+// slices and rendezvous instants, and a ring lane carrying interconnect
+// transfers. Simulated cycles map one-to-one onto the format's microsecond
+// timestamps. Load the output in chrome://tracing or https://ui.perfetto.dev.
+type Chrome struct {
+	sampleEvery int64
+	events      []chromeEvent
+	runStart    map[int]runOpen
+	lanesNamed  map[int]bool
+}
+
+type runOpen struct {
+	ctx          int
+	at           int64
+	switchCycles int64
+	resumed      bool
+}
+
+// NewChrome builds a Chrome trace recorder. A positive sampleEvery adds
+// counter tracks (live and ready contexts) sampled at that period; zero
+// records no counters.
+func NewChrome(sampleEvery int64) *Chrome {
+	return &Chrome{
+		sampleEvery: sampleEvery,
+		runStart:    make(map[int]runOpen),
+		lanesNamed:  make(map[int]bool),
+	}
+}
+
+var _ Recorder = (*Chrome)(nil)
+
+func (c *Chrome) SampleEvery() int64 { return c.sampleEvery }
+
+// lane ensures the thread-name metadata for a lane exists and returns its
+// thread id.
+func (c *Chrome) lane(tid int, name string) int {
+	if !c.lanesNamed[tid] {
+		c.lanesNamed[tid] = true
+		c.events = append(c.events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+		c.events = append(c.events, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: tid,
+			Args: map[string]any{"sort_index": tid},
+		})
+	}
+	return tid
+}
+
+func (c *Chrome) peLane(pe int) int { return c.lane(pe, fmt.Sprintf("PE %d", pe)) }
+func (c *Chrome) mpLane(pe int) int { return c.lane(mpLaneBase+pe, fmt.Sprintf("MP %d", pe)) }
+func (c *Chrome) ringLaneID() int   { return c.lane(ringLane, "ring") }
+
+func (c *Chrome) BeginRun(pe, ctx int, at, switchCycles int64, resumed bool) {
+	c.runStart[pe] = runOpen{ctx: ctx, at: at, switchCycles: switchCycles, resumed: resumed}
+	if switchCycles > 0 {
+		name := "switch"
+		if resumed {
+			name = "resume"
+		}
+		c.events = append(c.events, chromeEvent{
+			Name: name, Ph: "X", Ts: at - switchCycles, Dur: switchCycles,
+			Pid: chromePid, Tid: c.peLane(pe),
+		})
+	}
+}
+
+func (c *Chrome) EndRun(pe, ctx int, at int64, reason EndReason) {
+	open, ok := c.runStart[pe]
+	if !ok || open.ctx != ctx {
+		return
+	}
+	delete(c.runStart, pe)
+	c.events = append(c.events, chromeEvent{
+		Name: fmt.Sprintf("ctx %d", ctx), Ph: "X", Ts: open.at, Dur: at - open.at,
+		Pid: chromePid, Tid: c.peLane(pe),
+		Args: map[string]any{"resumed": open.resumed, "end": reason.String()},
+	})
+}
+
+// Instr events are deliberately not serialized: per-instruction slices
+// overwhelm the viewer on any non-trivial run. The hook exists so finer
+// recorders can be layered via Multi.
+func (c *Chrome) Instr(_, _, _, _ int, _ string, _ int64, _ int) {}
+
+func (c *Chrome) ContextCreated(ctx, parent, pe int, at int64) {
+	c.events = append(c.events, chromeEvent{
+		Name: fmt.Sprintf("fork ctx %d", ctx), Ph: "i", Ts: at, S: "t",
+		Pid: chromePid, Tid: c.peLane(pe),
+		Args: map[string]any{"parent": parent},
+	})
+}
+
+func (c *Chrome) ContextReady(_, _, _ int, _ int64) {}
+
+func (c *Chrome) ContextExited(ctx, pe int, at int64) {
+	c.events = append(c.events, chromeEvent{
+		Name: fmt.Sprintf("exit ctx %d", ctx), Ph: "i", Ts: at, S: "t",
+		Pid: chromePid, Tid: c.peLane(pe),
+	})
+}
+
+func (c *Chrome) MsgOp(pe int, ch int32, op ChanOp, start, end int64, hit, completed bool) {
+	c.events = append(c.events, chromeEvent{
+		Name: fmt.Sprintf("%s ch %d", op, ch), Ph: "X", Ts: start, Dur: end - start,
+		Pid: chromePid, Tid: c.mpLane(pe),
+		Args: map[string]any{"hit": hit, "completed": completed},
+	})
+	if completed {
+		c.events = append(c.events, chromeEvent{
+			Name: fmt.Sprintf("rendezvous ch %d", ch), Ph: "i", Ts: end, S: "t",
+			Pid: chromePid, Tid: c.mpLane(pe),
+		})
+	}
+}
+
+func (c *Chrome) RingTransfer(from, to int, start, end, wait int64) {
+	c.events = append(c.events, chromeEvent{
+		Name: fmt.Sprintf("pe %d → pe %d", from, to), Ph: "X", Ts: start, Dur: end - start,
+		Pid: chromePid, Tid: c.ringLaneID(),
+		Args: map[string]any{"wait": wait},
+	})
+}
+
+func (c *Chrome) Sample(at int64, s MachineSample) {
+	c.events = append(c.events, chromeEvent{
+		Name: "contexts", Ph: "C", Ts: at, Pid: chromePid, Tid: 0,
+		Args: map[string]any{"live": s.LiveContexts, "ready": s.ReadyContexts},
+	})
+}
+
+// Events reports how many trace events have been recorded.
+func (c *Chrome) Events() int { return len(c.events) }
+
+// Write serializes the trace in the JSON object form chrome://tracing
+// loads directly: {"traceEvents": [...]}.
+func (c *Chrome) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: c.events})
+}

@@ -1,0 +1,83 @@
+package trace
+
+// Timeline collects a cycle-sampled time series of machine behaviour: the
+// simulator delivers a cumulative MachineSample at every bucket boundary and
+// the collector differences successive samples into per-bucket rates. This
+// is the time-resolved counterpart of the end-of-run aggregate statistics —
+// utilization, live contexts, ready-queue depth, operand-queue span and
+// message-cache hit rate per bucket rather than averaged over the run.
+type Timeline struct {
+	NopRecorder
+	bucket  int64
+	last    MachineSample
+	lastT   int64
+	buckets []Bucket
+}
+
+// Bucket is one sampling interval of the time series. Utilization,
+// AvgQueueLength and CacheHitRate are rates over the bucket; LiveContexts
+// and ReadyContexts are gauges observed at its end.
+type Bucket struct {
+	// EndCycle is the simulated time at the bucket's close. Buckets are
+	// nominally uniform, but the final bucket closes at the end of the run.
+	EndCycle       int64   `json:"end_cycle"`
+	Instructions   int64   `json:"instructions"`
+	Utilization    float64 `json:"utilization"`
+	LiveContexts   int     `json:"live_contexts"`
+	ReadyContexts  int     `json:"ready_contexts"`
+	AvgQueueLength float64 `json:"avg_queue_length"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	RingMessages   int64   `json:"ring_messages"`
+	RingWaitCycles int64   `json:"ring_wait_cycles"`
+}
+
+// Series is the complete time series, shaped for JSON embedding in the run
+// statistics document.
+type Series struct {
+	BucketCycles int64    `json:"bucket_cycles"`
+	Buckets      []Bucket `json:"buckets"`
+}
+
+// NewTimeline builds a collector sampling every bucketCycles cycles (at
+// least 1).
+func NewTimeline(bucketCycles int64) *Timeline {
+	if bucketCycles < 1 {
+		bucketCycles = 1
+	}
+	return &Timeline{bucket: bucketCycles}
+}
+
+var _ Recorder = (*Timeline)(nil)
+
+func (tl *Timeline) SampleEvery() int64 { return tl.bucket }
+
+func (tl *Timeline) Sample(at int64, s MachineSample) {
+	if at <= tl.lastT && len(tl.buckets) > 0 {
+		return // duplicate boundary (e.g. run ends exactly on a bucket edge)
+	}
+	dt := at - tl.lastT
+	b := Bucket{
+		EndCycle:       at,
+		Instructions:   s.Instructions - tl.last.Instructions,
+		LiveContexts:   s.LiveContexts,
+		ReadyContexts:  s.ReadyContexts,
+		RingMessages:   s.RingMessages - tl.last.RingMessages,
+		RingWaitCycles: s.RingWaitCycles - tl.last.RingWaitCycles,
+	}
+	if dt > 0 && s.NumPEs > 0 {
+		b.Utilization = float64(s.BusyCycles-tl.last.BusyCycles) / float64(dt*int64(s.NumPEs))
+	}
+	if b.Instructions > 0 {
+		b.AvgQueueLength = float64(s.QueueSum-tl.last.QueueSum) / float64(b.Instructions)
+	}
+	if acc := (s.CacheHits - tl.last.CacheHits) + (s.CacheMisses - tl.last.CacheMisses); acc > 0 {
+		b.CacheHitRate = float64(s.CacheHits-tl.last.CacheHits) / float64(acc)
+	}
+	tl.buckets = append(tl.buckets, b)
+	tl.last, tl.lastT = s, at
+}
+
+// Series snapshots the collected time series.
+func (tl *Timeline) Series() *Series {
+	return &Series{BucketCycles: tl.bucket, Buckets: tl.buckets}
+}

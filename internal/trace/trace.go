@@ -1,0 +1,233 @@
+// Package trace is the simulator's instrumentation layer: a Recorder
+// interface whose hooks are invoked from the sim event loop, the processing
+// element's execute path, the kernel's context lifecycle, the ring
+// interconnect, and the message processors. Every hook call site is guarded
+// by a nil check on a concrete recorder pointer, so a simulation built
+// without a recorder pays nothing — no interface dispatch, no allocation,
+// no branch beyond the nil test — and its cycle counts are bit-identical
+// to an instrumented run (hooks observe, they never alter timing).
+//
+// Two concrete recorders ship with the package: Chrome emits the trace-event
+// JSON that chrome://tracing and Perfetto load (one lane per processing
+// element plus message-processor and ring lanes), and Timeline collects a
+// cycle-sampled time series of machine-wide gauges (utilization, live
+// contexts, ready-queue depth, operand-queue span, cache hit rate). Multi
+// fans hooks out to several recorders at once.
+//
+// Recorders are driven by a single simulation's event loop and are not safe
+// for concurrent use; give each concurrent simulation its own recorder.
+package trace
+
+// EndReason says why a context stopped occupying its processing element.
+type EndReason uint8
+
+const (
+	// EndBlockedSend: the context issued a send and awaits the rendezvous.
+	EndBlockedSend EndReason = iota
+	// EndBlockedRecv: the context issued a recv and awaits a sender.
+	EndBlockedRecv
+	// EndBlockedWait: the context sleeps until simulated time advances.
+	EndBlockedWait
+	// EndExited: the context terminated.
+	EndExited
+)
+
+func (r EndReason) String() string {
+	switch r {
+	case EndBlockedSend:
+		return "blocked-send"
+	case EndBlockedRecv:
+		return "blocked-recv"
+	case EndBlockedWait:
+		return "blocked-wait"
+	case EndExited:
+		return "exited"
+	default:
+		return "unknown"
+	}
+}
+
+// ChanOp discriminates message-processor operations.
+type ChanOp uint8
+
+const (
+	ChanSend ChanOp = iota
+	ChanRecv
+)
+
+func (o ChanOp) String() string {
+	if o == ChanSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// MachineSample is a machine-wide snapshot taken at a sampling boundary.
+// Counter fields are cumulative since the start of the run; consumers that
+// want per-bucket rates difference successive samples. Gauge fields
+// (LiveContexts, ReadyContexts, RunningPEs) are instantaneous.
+type MachineSample struct {
+	NumPEs         int
+	LiveContexts   int
+	ReadyContexts  int
+	RunningPEs     int
+	BusyCycles     int64
+	Instructions   int64
+	QueueSum       int64
+	CacheHits      int64
+	CacheMisses    int64
+	RingMessages   int64
+	RingWaitCycles int64
+}
+
+// Recorder receives the simulator's instrumentation events. All timestamps
+// are simulated cycles. Hooks are called in event-loop order, which is
+// deterministic but not globally time-sorted: a BeginRun scheduled in the
+// future may precede hooks carrying earlier timestamps.
+type Recorder interface {
+	// SampleEvery reports the sampling period in cycles; zero disables
+	// Sample callbacks.
+	SampleEvery() int64
+
+	// BeginRun: a processing element starts executing a context at `at`,
+	// after paying switchCycles of dispatch cost; resumed reports that the
+	// context's window registers were still loaded (no roll-out).
+	BeginRun(pe, ctx int, at, switchCycles int64, resumed bool)
+
+	// EndRun: the processing element stops executing the context at `at`.
+	EndRun(pe, ctx int, at int64, reason EndReason)
+
+	// Instr: an instruction retired on a processing element. Issued only
+	// when a recorder is installed; op is the static mnemonic.
+	Instr(pe, ctx, graph, pc int, op string, at int64, cycles int)
+
+	// ContextCreated: the kernel allocated a context (fork or program
+	// start) and placed it on a processing element.
+	ContextCreated(ctx, parent, pe int, at int64)
+
+	// ContextReady: a context joined its processing element's ready queue,
+	// which now holds depth entries.
+	ContextReady(ctx, pe, depth int, at int64)
+
+	// ContextExited: the kernel released a terminated context.
+	ContextExited(ctx, pe int, at int64)
+
+	// MsgOp: the message processor on pe served a channel operation from
+	// start to end; hit reports channel-cache residence and completed a
+	// finished rendezvous.
+	MsgOp(pe int, ch int32, op ChanOp, start, end int64, hit, completed bool)
+
+	// RingTransfer: a message crossed the interconnect, issued at start and
+	// delivered at end, of which wait cycles were spent queued behind other
+	// traffic.
+	RingTransfer(from, to int, start, end, wait int64)
+
+	// Sample delivers the machine-wide snapshot at a sampling boundary.
+	Sample(at int64, s MachineSample)
+}
+
+// NopRecorder implements every Recorder hook as a no-op; embed it to build
+// recorders that care about a subset of the events.
+type NopRecorder struct{}
+
+func (NopRecorder) SampleEvery() int64                                    { return 0 }
+func (NopRecorder) BeginRun(_, _ int, _, _ int64, _ bool)                 {}
+func (NopRecorder) EndRun(_, _ int, _ int64, _ EndReason)                 {}
+func (NopRecorder) Instr(_, _, _, _ int, _ string, _ int64, _ int)        {}
+func (NopRecorder) ContextCreated(_, _, _ int, _ int64)                   {}
+func (NopRecorder) ContextReady(_, _, _ int, _ int64)                     {}
+func (NopRecorder) ContextExited(_, _ int, _ int64)                       {}
+func (NopRecorder) MsgOp(_ int, _ int32, _ ChanOp, _, _ int64, _, _ bool) {}
+func (NopRecorder) RingTransfer(_, _ int, _, _, _ int64)                  {}
+func (NopRecorder) Sample(_ int64, _ MachineSample)                       {}
+
+var _ Recorder = NopRecorder{}
+
+// Multi combines recorders: every hook fans out to each in order. Nil
+// entries are dropped; zero live recorders yield nil (so callers can pass
+// the result straight to SetRecorder), and a single live recorder is
+// returned unwrapped.
+func Multi(rs ...Recorder) Recorder {
+	var live []Recorder
+	for _, r := range rs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	default:
+		return multi(live)
+	}
+}
+
+type multi []Recorder
+
+// SampleEvery of a fan-out is the smallest positive period of its members:
+// recorders sampling more coarsely simply observe extra boundaries.
+func (m multi) SampleEvery() int64 {
+	var every int64
+	for _, r := range m {
+		if e := r.SampleEvery(); e > 0 && (every == 0 || e < every) {
+			every = e
+		}
+	}
+	return every
+}
+
+func (m multi) BeginRun(pe, ctx int, at, switchCycles int64, resumed bool) {
+	for _, r := range m {
+		r.BeginRun(pe, ctx, at, switchCycles, resumed)
+	}
+}
+
+func (m multi) EndRun(pe, ctx int, at int64, reason EndReason) {
+	for _, r := range m {
+		r.EndRun(pe, ctx, at, reason)
+	}
+}
+
+func (m multi) Instr(pe, ctx, graph, pc int, op string, at int64, cycles int) {
+	for _, r := range m {
+		r.Instr(pe, ctx, graph, pc, op, at, cycles)
+	}
+}
+
+func (m multi) ContextCreated(ctx, parent, pe int, at int64) {
+	for _, r := range m {
+		r.ContextCreated(ctx, parent, pe, at)
+	}
+}
+
+func (m multi) ContextReady(ctx, pe, depth int, at int64) {
+	for _, r := range m {
+		r.ContextReady(ctx, pe, depth, at)
+	}
+}
+
+func (m multi) ContextExited(ctx, pe int, at int64) {
+	for _, r := range m {
+		r.ContextExited(ctx, pe, at)
+	}
+}
+
+func (m multi) MsgOp(pe int, ch int32, op ChanOp, start, end int64, hit, completed bool) {
+	for _, r := range m {
+		r.MsgOp(pe, ch, op, start, end, hit, completed)
+	}
+}
+
+func (m multi) RingTransfer(from, to int, start, end, wait int64) {
+	for _, r := range m {
+		r.RingTransfer(from, to, start, end, wait)
+	}
+}
+
+func (m multi) Sample(at int64, s MachineSample) {
+	for _, r := range m {
+		r.Sample(at, s)
+	}
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// driveSynthetic feeds a recorder a small, hand-written event sequence in
+// the order the event loop would produce it: two contexts time-slicing on
+// one processing element, a channel rendezvous, a ring hop, and two
+// sampling boundaries.
+func driveSynthetic(r Recorder) {
+	r.ContextCreated(0, -1, 0, 0)
+	r.ContextReady(0, 0, 1, 0)
+	r.BeginRun(0, 0, 10, 10, false)
+	r.Instr(0, 0, 0, 0, "dup", 10, 1)
+	r.MsgOp(0, 7, ChanSend, 20, 24, true, false)
+	r.EndRun(0, 0, 20, EndBlockedSend)
+	r.ContextCreated(1, 0, 0, 20)
+	r.ContextReady(1, 0, 1, 20)
+	r.BeginRun(0, 1, 30, 10, false)
+	r.MsgOp(0, 7, ChanRecv, 35, 39, true, true)
+	r.EndRun(0, 1, 40, EndExited)
+	r.ContextExited(1, 0, 40)
+	r.RingTransfer(0, 1, 41, 45, 2)
+	r.Sample(50, MachineSample{NumPEs: 1, LiveContexts: 1, BusyCycles: 20,
+		Instructions: 4, QueueSum: 8, CacheHits: 2, RingMessages: 1, RingWaitCycles: 2})
+	r.Sample(100, MachineSample{NumPEs: 1, LiveContexts: 1, BusyCycles: 45,
+		Instructions: 9, QueueSum: 28, CacheHits: 2, CacheMisses: 3, RingMessages: 1, RingWaitCycles: 2})
+}
+
+// chromeDoc mirrors the {"traceEvents": [...]} envelope for decoding.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   int64          `json:"ts"`
+		Dur  int64          `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	c := NewChrome(50)
+	driveSynthetic(c)
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if len(doc.TraceEvents) != c.Events() {
+		t.Fatalf("decoded %d events, recorder holds %d", len(doc.TraceEvents), c.Events())
+	}
+
+	byPhase := map[string]int{}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		byPhase[e.Ph]++
+		names[e.Name] = true
+		if e.Ph == "" || e.Pid != 1 {
+			t.Errorf("event %+v: missing phase or wrong pid", e)
+		}
+		if e.Ph == "X" && e.Dur < 0 {
+			t.Errorf("slice %q has negative duration %d", e.Name, e.Dur)
+		}
+	}
+	// The synthetic run must produce: two context slices and two dispatch
+	// slices on the PE lane, two channel-op slices on the MP lane, one ring
+	// slice; fork/exit/rendezvous instants; two counter samples; metadata
+	// for the three lanes touched (2 events per lane).
+	if byPhase["X"] != 7 {
+		t.Errorf("slices = %d, want 7", byPhase["X"])
+	}
+	if byPhase["i"] != 4 {
+		t.Errorf("instants = %d, want 4", byPhase["i"])
+	}
+	if byPhase["C"] != 2 {
+		t.Errorf("counters = %d, want 2", byPhase["C"])
+	}
+	if byPhase["M"] != 6 {
+		t.Errorf("metadata = %d, want 6", byPhase["M"])
+	}
+	for _, want := range []string{"ctx 0", "ctx 1", "switch", "fork ctx 1",
+		"exit ctx 1", "send ch 7", "recv ch 7", "rendezvous ch 7",
+		"pe 0 → pe 1", "contexts", "thread_name"} {
+		if !names[want] {
+			t.Errorf("event %q missing from trace", want)
+		}
+	}
+}
+
+func TestChromeEndRunIgnoresUnmatchedContext(t *testing.T) {
+	c := NewChrome(0)
+	c.BeginRun(0, 3, 10, 0, true)
+	c.EndRun(0, 99, 20, EndExited) // different context: no slice
+	c.EndRun(1, 3, 20, EndExited)  // different PE: no slice
+	before := c.Events()
+	c.EndRun(0, 3, 20, EndExited)
+	// The slice plus the lane's two metadata events (first event on PE 0).
+	if c.Events() != before+3 {
+		t.Fatalf("matched EndRun added %d events, want 3", c.Events()-before)
+	}
+	c.EndRun(0, 3, 30, EndExited) // already closed: no slice
+	if c.Events() != before+3 {
+		t.Fatal("double EndRun emitted a second slice")
+	}
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	tl := NewTimeline(50)
+	driveSynthetic(tl)
+	s := tl.Series()
+	if s.BucketCycles != 50 {
+		t.Fatalf("BucketCycles = %d", s.BucketCycles)
+	}
+	if len(s.Buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(s.Buckets))
+	}
+	b0, b1 := s.Buckets[0], s.Buckets[1]
+	if b0.EndCycle != 50 || b1.EndCycle != 100 {
+		t.Errorf("bucket ends %d, %d; want 50, 100", b0.EndCycle, b1.EndCycle)
+	}
+	// First bucket: 20 busy cycles of 50 on one PE, 4 instructions with a
+	// queue-length sum of 8, 2 cache hits and no misses.
+	if b0.Utilization != 0.4 || b0.Instructions != 4 || b0.AvgQueueLength != 2 || b0.CacheHitRate != 1 {
+		t.Errorf("bucket 0 = %+v", b0)
+	}
+	// Second bucket is differenced against the first: 25 more busy cycles,
+	// 5 instructions, queue sum +20, 0 hits and 3 misses.
+	if b1.Utilization != 0.5 || b1.Instructions != 5 || b1.AvgQueueLength != 4 || b1.CacheHitRate != 0 {
+		t.Errorf("bucket 1 = %+v", b1)
+	}
+	if b0.RingMessages != 1 || b1.RingMessages != 0 {
+		t.Errorf("ring messages = %d, %d; want 1, 0", b0.RingMessages, b1.RingMessages)
+	}
+}
+
+func TestTimelineDuplicateFinalBoundary(t *testing.T) {
+	tl := NewTimeline(100)
+	tl.Sample(100, MachineSample{NumPEs: 1, Instructions: 10})
+	// The run ends exactly on a bucket edge: the final emitSample repeats
+	// the boundary and must not produce an empty bucket.
+	tl.Sample(100, MachineSample{NumPEs: 1, Instructions: 10})
+	if n := len(tl.Series().Buckets); n != 1 {
+		t.Fatalf("buckets = %d, want 1", n)
+	}
+	// A short final bucket (run ends mid-bucket) is kept.
+	tl.Sample(130, MachineSample{NumPEs: 1, Instructions: 16, BusyCycles: 30})
+	s := tl.Series()
+	if n := len(s.Buckets); n != 2 {
+		t.Fatalf("buckets = %d, want 2", n)
+	}
+	if b := s.Buckets[1]; b.EndCycle != 130 || b.Instructions != 6 || b.Utilization != 1 {
+		t.Errorf("final short bucket = %+v", b)
+	}
+}
+
+// countRecorder counts hook invocations, for Multi fan-out checks.
+type countRecorder struct {
+	NopRecorder
+	every          int64
+	begins, ends   int
+	instrs, msgs   int
+	creates, exits int
+	readies, rings int
+	samples        int
+}
+
+func (c *countRecorder) SampleEvery() int64                    { return c.every }
+func (c *countRecorder) BeginRun(_, _ int, _, _ int64, _ bool) { c.begins++ }
+func (c *countRecorder) EndRun(_, _ int, _ int64, _ EndReason) { c.ends++ }
+func (c *countRecorder) Instr(_, _, _, _ int, _ string, _ int64, _ int) {
+	c.instrs++
+}
+func (c *countRecorder) ContextCreated(_, _, _ int, _ int64) { c.creates++ }
+func (c *countRecorder) ContextReady(_, _, _ int, _ int64)   { c.readies++ }
+func (c *countRecorder) ContextExited(_, _ int, _ int64)     { c.exits++ }
+func (c *countRecorder) MsgOp(_ int, _ int32, _ ChanOp, _, _ int64, _, _ bool) {
+	c.msgs++
+}
+func (c *countRecorder) RingTransfer(_, _ int, _, _, _ int64) { c.rings++ }
+func (c *countRecorder) Sample(_ int64, _ MachineSample)      { c.samples++ }
+
+func TestMulti(t *testing.T) {
+	if r := Multi(); r != nil {
+		t.Error("Multi() should be nil")
+	}
+	if r := Multi(nil, nil); r != nil {
+		t.Error("Multi(nil, nil) should be nil")
+	}
+	one := &countRecorder{}
+	if r := Multi(nil, one); r != Recorder(one) {
+		t.Error("Multi with one live recorder should return it unwrapped")
+	}
+
+	a := &countRecorder{every: 100}
+	b := &countRecorder{every: 30}
+	c := &countRecorder{} // does not sample
+	m := Multi(a, nil, b, c)
+	if m.SampleEvery() != 30 {
+		t.Errorf("SampleEvery = %d, want the smallest positive period 30", m.SampleEvery())
+	}
+	driveSynthetic(m)
+	for i, r := range []*countRecorder{a, b, c} {
+		if r.begins != 2 || r.ends != 2 || r.instrs != 1 || r.msgs != 2 ||
+			r.creates != 2 || r.exits != 1 || r.readies != 2 || r.rings != 1 || r.samples != 2 {
+			t.Errorf("recorder %d saw %+v", i, *r)
+		}
+	}
+}
+
+func TestEndReasonAndChanOpStrings(t *testing.T) {
+	for want, got := range map[string]string{
+		"blocked-send": EndBlockedSend.String(),
+		"blocked-recv": EndBlockedRecv.String(),
+		"blocked-wait": EndBlockedWait.String(),
+		"exited":       EndExited.String(),
+		"unknown":      EndReason(99).String(),
+		"send":         ChanSend.String(),
+		"recv":         ChanRecv.String(),
+	} {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package queuemachine
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"net/http"
@@ -207,6 +208,26 @@ func TestToolchainDaemon(t *testing.T) {
 		t.Errorf("/run stats unexpected: %s", raw)
 	}
 
+	// The Prometheus view of the same counters: one run has been served.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", resp.StatusCode, metrics)
+	}
+	for _, want := range []string{
+		`qmd_requests_total{endpoint="run"} 1`,
+		"qmd_sim_cycles_total",
+		`qmd_request_seconds_count{endpoint="run"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("SIGTERM: %v", err)
 	}
@@ -219,6 +240,99 @@ func TestToolchainDaemon(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Error("qmd did not exit on SIGTERM")
+	}
+}
+
+// TestToolchainDeadlockExit checks qsim's contract for hung programs: exit
+// status 3 with the kernel's context snapshot on stderr, keeping stdout
+// clean for the statistics parsers that consume it.
+func TestToolchainDeadlockExit(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+	src := filepath.Join(work, "hang.qasm")
+	// The context opens a channel and receives on it; no sender exists.
+	if err := os.WriteFile(src, []byte(`.graph main queue=32
+	trap #3,#0 :r17
+	recv r17 :r0
+	trap #0,#0
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runTool(t, filepath.Join(bin, "qasm"), src)
+
+	cmd := exec.Command(filepath.Join(bin, "qsim"), "-pes", "2", filepath.Join(work, "hang.qobj"))
+	var stdout, stderr strings.Builder
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 3 {
+		t.Fatalf("qsim exit = %v, want exit status 3\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "deadlock") || !strings.Contains(stderr.String(), "blocked-recv") {
+		t.Errorf("stderr lacks the deadlock snapshot:\n%s", stderr.String())
+	}
+	if strings.Contains(stdout.String(), "deadlock") {
+		t.Errorf("deadlock report leaked to stdout:\n%s", stdout.String())
+	}
+}
+
+// TestToolchainTracing exercises the observability flags through the built
+// binary: -trace writes a loadable trace-event file and -timeline embeds
+// the sampled series in the JSON statistics.
+func TestToolchainTracing(t *testing.T) {
+	bin := buildTools(t)
+	work := t.TempDir()
+	src := filepath.Join(work, "prog.occ")
+	if err := os.WriteFile(src, []byte(`var v[1], sum:
+seq
+  sum := 0
+  seq k = [1 for 10]
+    sum := sum + k
+  v[0] := sum
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runTool(t, filepath.Join(bin, "occ"), src)
+	qobj := filepath.Join(work, "prog.qobj")
+	traceFile := filepath.Join(work, "trace.json")
+
+	jsonOut := runTool(t, filepath.Join(bin, "qsim"),
+		"-pes", "2", "-json", "-trace", traceFile, "-timeline", "100", qobj)
+
+	var stats struct {
+		Cycles   int64 `json:"cycles"`
+		Timeline *struct {
+			BucketCycles int64 `json:"bucket_cycles"`
+			Buckets      []struct {
+				EndCycle     int64 `json:"end_cycle"`
+				Instructions int64 `json:"instructions"`
+			} `json:"buckets"`
+		} `json:"timeline"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &stats); err != nil {
+		t.Fatalf("qsim -json: %v\n%s", err, jsonOut)
+	}
+	if stats.Timeline == nil || stats.Timeline.BucketCycles != 100 || len(stats.Timeline.Buckets) == 0 {
+		t.Fatalf("timeline missing from statistics:\n%s", jsonOut)
+	}
+	if last := stats.Timeline.Buckets[len(stats.Timeline.Buckets)-1]; last.EndCycle != stats.Cycles {
+		t.Errorf("timeline ends at %d, run at %d", last.EndCycle, stats.Cycles)
+	}
+
+	blob, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("trace file is not valid trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events")
 	}
 }
 
