@@ -246,6 +246,62 @@ func BenchmarkFig69(b *testing.B) {
 	}
 }
 
+// benchHost compiles a workload once and benchmarks the host-side cost of
+// simulating it: wall-clock time per run, allocations per run, and the
+// simulated-instruction throughput of the simulator itself as a
+// "simInstrs/s" metric. Where benchWorkload reports what the simulated
+// machine did, benchHost reports how fast the host executed the simulation.
+func benchHost(b *testing.B, wl workloads.Workload, peCounts []int) {
+	art, err := compile.Compile(wl.Source, compile.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, pes := range peCounts {
+		pes := pes
+		b.Run(fmt.Sprintf("pes-%d", pes), func(b *testing.B) {
+			b.ReportAllocs()
+			var instrs int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(art.Object, pes, sim.DefaultParams())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := wl.Check(art, res.Data); err != nil {
+					b.Fatal(err)
+				}
+				instrs += res.Instructions
+			}
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(instrs)/secs, "simInstrs/s")
+			}
+		})
+	}
+}
+
+// BenchmarkHostMatmul measures host throughput on the Figure 6.8 matrix
+// multiplication across the full machine-size sweep.
+func BenchmarkHostMatmul(b *testing.B) {
+	benchHost(b, workloads.MatMul(8), experiments.PECounts)
+}
+
+// BenchmarkHostFFT measures host throughput on the Figure 6.10 FFT at
+// eight processing elements.
+func BenchmarkHostFFT(b *testing.B) {
+	benchHost(b, workloads.FFT(6), []int{8})
+}
+
+// BenchmarkHostCholesky measures host throughput on the Figure 6.11
+// Cholesky decomposition at eight processing elements.
+func BenchmarkHostCholesky(b *testing.B) {
+	benchHost(b, workloads.Cholesky(8), []int{8})
+}
+
+// BenchmarkHostCongruence measures host throughput on the Figure 6.12
+// congruence transformation at eight processing elements.
+func BenchmarkHostCongruence(b *testing.B) {
+	benchHost(b, workloads.Congruence(8), []int{8})
+}
+
 // BenchmarkTable66 measures each compiler optimization's effect on the
 // matrix multiplication benchmark at four processing elements.
 func BenchmarkTable66(b *testing.B) {

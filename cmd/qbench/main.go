@@ -13,6 +13,12 @@
 //	    gate a run: additionally compare against the committed baseline and
 //	    exit 1 when any benchmark drifted or disappeared
 //
+//	go test -bench BenchmarkHost -benchtime 5x | qbench -host -out BENCH_host.json
+//	    record host throughput: parse the wall-clock "simInstrs/s" metric the
+//	    BenchmarkHost* benchmarks report and write it as a trajectory
+//	    artifact. Host time is machine- and load-dependent, so -host is
+//	    report-only and never gates: -baseline is rejected with it.
+//
 // Bench output is read from the named file argument, or stdin when absent.
 // Benchmarks present in the run but not the baseline are reported as new
 // without failing the gate (commit the refreshed file to accept them).
@@ -39,6 +45,14 @@ type Report struct {
 	Benchmarks map[string]int64 `json:"benchmarks"`
 }
 
+// HostReport is the JSON document -host writes: wall-clock simulator
+// throughput per benchmark. Unlike cycle counts these are real-valued and
+// machine-dependent, so they are recorded as a trajectory, never gated.
+type HostReport struct {
+	Metric     string             `json:"metric"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
 // procSuffix matches the "-8" GOMAXPROCS suffix go test appends to benchmark
 // names when GOMAXPROCS > 1. Sub-benchmark names also end in digits
 // ("pes-4"), so parse only strips a suffix every benchmark line of the run
@@ -50,8 +64,13 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "", "committed baseline JSON to gate against")
 		outPath      = flag.String("out", "", "write this run's cycle counts as JSON")
+		hostMode     = flag.Bool("host", false,
+			"record the simInstrs/s host-throughput metric (report-only, no gating)")
 	)
 	flag.Parse()
+	if *hostMode && *baselinePath != "" {
+		fatal(fmt.Errorf("-host throughput is machine-dependent and report-only; -baseline is not allowed"))
+	}
 
 	in := io.Reader(os.Stdin)
 	switch flag.NArg() {
@@ -66,6 +85,31 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "usage: qbench [-baseline file] [-out file] [bench-output]")
 		os.Exit(2)
+	}
+
+	if *hostMode {
+		vals, err := parseMetric(in, "simInstrs/s")
+		if err != nil {
+			fatal(err)
+		}
+		if len(vals) == 0 {
+			fatal(fmt.Errorf("no simInstrs/s metrics found in bench output"))
+		}
+		rep := &HostReport{Metric: "simInstrs/s", Benchmarks: vals}
+		if *outPath != "" {
+			blob, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*outPath, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		for _, name := range sortedFloatKeys(rep.Benchmarks) {
+			fmt.Printf("qbench: %s: %.0f simInstrs/s\n", name, rep.Benchmarks[name])
+		}
+		fmt.Printf("qbench: recorded host throughput for %d benchmarks\n", len(rep.Benchmarks))
+		return
 	}
 
 	current, err := parse(in)
@@ -142,7 +186,21 @@ func main() {
 //
 //	BenchmarkFig68Matmul/pes-4-8   1   937432 ns/op   51742 simcycles   ...
 func parse(r io.Reader) (*Report, error) {
-	rep := &Report{Metric: "simcycles", Benchmarks: map[string]int64{}}
+	vals, err := parseMetric(r, "simcycles")
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Metric: "simcycles", Benchmarks: make(map[string]int64, len(vals))}
+	for name, v := range vals {
+		rep.Benchmarks[name] = int64(v)
+	}
+	return rep, nil
+}
+
+// parseMetric extracts one named custom metric from go test bench output,
+// keyed by benchmark name with any uniform GOMAXPROCS suffix stripped.
+func parseMetric(r io.Reader, metric string) (map[string]float64, error) {
+	vals := map[string]float64{}
 	var allNames []string
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -154,27 +212,27 @@ func parse(r io.Reader) (*Report, error) {
 		name := fields[0]
 		allNames = append(allNames, name)
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "simcycles" {
+			if fields[i+1] != metric {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchmark %s: bad simcycles %q", name, fields[i])
+				return nil, fmt.Errorf("benchmark %s: bad %s %q", name, metric, fields[i])
 			}
-			rep.Benchmarks[name] = int64(v)
+			vals[name] = v
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if suffix := commonProcSuffix(allNames); suffix != "" {
-		trimmed := make(map[string]int64, len(rep.Benchmarks))
-		for name, v := range rep.Benchmarks {
+		trimmed := make(map[string]float64, len(vals))
+		for name, v := range vals {
 			trimmed[strings.TrimSuffix(name, suffix)] = v
 		}
-		rep.Benchmarks = trimmed
+		vals = trimmed
 	}
-	return rep, nil
+	return vals, nil
 }
 
 // commonProcSuffix returns the "-N" GOMAXPROCS suffix when every benchmark
@@ -195,6 +253,15 @@ func commonProcSuffix(names []string) string {
 		}
 	}
 	return suffix
+}
+
+func sortedFloatKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 func sortedKeys(m map[string]int64) []string {

@@ -45,6 +45,36 @@ func TestParseNormalizesProcSuffix(t *testing.T) {
 	}
 }
 
+const hostBench = `goos: linux
+BenchmarkHostMatmul/pes-1-8 	       5	  61000000 ns/op	  1201878.5 simInstrs/s	 10 B/op	 1 allocs/op
+BenchmarkHostMatmul/pes-8-8 	       5	  17000000 ns/op	  2484010 simInstrs/s	  54969 wrongmetric	 10 B/op	 1 allocs/op
+BenchmarkHostFFT/pes-8-8 	       5	   9800000 ns/op	  3661933 simInstrs/s	 10 B/op	 1 allocs/op
+PASS
+`
+
+// TestParseMetricHost checks -host parsing: the real-valued simInstrs/s
+// metric is extracted per benchmark, other metrics on the same line are
+// ignored, and the GOMAXPROCS suffix is still normalized away.
+func TestParseMetricHost(t *testing.T) {
+	vals, err := parseMetric(strings.NewReader(hostBench), "simInstrs/s")
+	if err != nil {
+		t.Fatalf("parseMetric: %v", err)
+	}
+	want := map[string]float64{
+		"BenchmarkHostMatmul/pes-1": 1201878.5,
+		"BenchmarkHostMatmul/pes-8": 2484010,
+		"BenchmarkHostFFT/pes-8":    3661933,
+	}
+	if len(vals) != len(want) {
+		t.Fatalf("parsed %v, want %v", vals, want)
+	}
+	for k, v := range want {
+		if vals[k] != v {
+			t.Errorf("%s = %v, want %v", k, vals[k], v)
+		}
+	}
+}
+
 // TestCommonProcSuffix pins the heuristic's edge cases.
 func TestCommonProcSuffix(t *testing.T) {
 	for _, tc := range []struct {

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"queuemachine/internal/isa"
 	"queuemachine/internal/service"
@@ -68,7 +69,9 @@ func main() {
 	}
 	sys.SetRecorder(trace.Multi(recs...))
 
+	start := time.Now()
 	res, err := sys.Run()
+	hostTime := time.Since(start)
 	if err != nil {
 		var dl *sim.DeadlockError
 		if errors.As(err, &dl) {
@@ -91,6 +94,7 @@ func main() {
 	}
 
 	stats := service.NewRunStats(res, *dump)
+	stats.SetHostTime(hostTime)
 	if series != nil {
 		stats.Timeline = series.Series()
 	}
@@ -116,6 +120,8 @@ func main() {
 	fmt.Printf("ring messages        %d (%d wait cycles)\n", res.Ring.Messages, res.Ring.WaitCycles)
 	fmt.Printf("memory traffic       %d reads, %d writes\n", res.MemReads, res.MemWrites)
 	fmt.Printf("avg queue length     %.2f words\n", res.AvgQueueLength())
+	fmt.Printf("host time            %.3fs (%.2f MIPS simulated)\n",
+		stats.HostSeconds, stats.HostMIPS)
 	if series != nil {
 		printTimeline(series.Series())
 	}

@@ -246,10 +246,28 @@ var infoTable = map[Opcode]Info{
 	OpRett:   {Mnemonic: "rett", Trap: true},
 }
 
+// denseInfo caches infoTable in an array indexed by the 6-bit opcode so
+// Lookup on the emulator's decode path is an array load, not a map probe.
+var denseInfo = func() (t [1 << 6]struct {
+	info Info
+	ok   bool
+}) {
+	for op, in := range infoTable {
+		t[op] = struct {
+			info Info
+			ok   bool
+		}{in, true}
+	}
+	return t
+}()
+
 // Lookup returns the static description of an opcode.
 func Lookup(op Opcode) (Info, bool) {
-	in, ok := infoTable[op]
-	return in, ok
+	if int(op) >= len(denseInfo) {
+		return Info{}, false
+	}
+	e := denseInfo[op]
+	return e.info, e.ok
 }
 
 // ByMnemonic resolves an assembly mnemonic to its opcode.

@@ -32,14 +32,40 @@ type Kernel struct {
 	numPEs   int
 	nextCtx  int
 	nextChan int32
-	contexts map[int]*pe.Context
-	home     map[int]int // context id -> hosting PE
-	ready    [][]int     // per-PE FIFO of ready context ids
-	resident []int       // per-PE count of live contexts
+	contexts []*pe.Context // indexed by context id; nil once exited
+	home     []int32       // indexed by context id
+	ready    []ctxFIFO     // per-PE FIFO of ready context ids
+	resident []int         // per-PE count of live contexts
+	freeCtx  []*pe.Context
 	live     int
 	rec      trace.Recorder
 	Stats    Stats
 }
+
+// ctxFIFO is a ready queue that pops by advancing a head index instead of
+// re-slicing, so the backing array is reused once drained and steady-state
+// ready/dispatch traffic never reallocates.
+type ctxFIFO struct {
+	ids  []int
+	head int
+}
+
+func (f *ctxFIFO) push(id int) { f.ids = append(f.ids, id) }
+
+func (f *ctxFIFO) pop() (int, bool) {
+	if f.head == len(f.ids) {
+		return 0, false
+	}
+	id := f.ids[f.head]
+	f.head++
+	if f.head == len(f.ids) {
+		f.ids = f.ids[:0]
+		f.head = 0
+	}
+	return id, true
+}
+
+func (f *ctxFIFO) len() int { return len(f.ids) - f.head }
 
 // SetRecorder installs the instrumentation recorder (nil disables). The
 // recorder observes the context lifecycle; it never alters scheduling.
@@ -51,9 +77,7 @@ func (k *Kernel) SetRecorder(rec trace.Recorder) { k.rec = rec }
 func New(numPEs int) *Kernel {
 	return &Kernel{
 		numPEs:   numPEs,
-		contexts: make(map[int]*pe.Context),
-		home:     make(map[int]int),
-		ready:    make([][]int, numPEs),
+		ready:    make([]ctxFIFO, numPEs),
 		resident: make([]int, numPEs),
 		nextChan: 1,
 	}
@@ -98,41 +122,47 @@ func (k *Kernel) Place(parentPE int) int {
 func (k *Kernel) CreateContext(graph, pageWords, parentID, parentPE int, at int64) (*pe.Context, int) {
 	id := k.nextCtx
 	k.nextCtx++
-	c := pe.NewContext(id, graph, pageWords)
+	var c *pe.Context
+	if n := len(k.freeCtx); n > 0 && len(k.freeCtx[n-1].Page) == pageWords {
+		c = k.freeCtx[n-1]
+		k.freeCtx[n-1] = nil
+		k.freeCtx = k.freeCtx[:n-1]
+		c.Reset(id, graph)
+	} else {
+		c = pe.NewContext(id, graph, pageWords)
+	}
 	c.Parent = parentID
 	target := k.Place(parentPE)
-	k.contexts[id] = c
-	k.home[id] = target
+	k.contexts = append(k.contexts, c)
+	k.home = append(k.home, int32(target))
 	k.resident[target]++
 	k.live++
 	k.Stats.ContextsCreated++
 	if target != parentPE {
 		k.Stats.Migrations++
 	}
-	k.ready[target] = append(k.ready[target], id)
+	k.ready[target].push(id)
 	if k.rec != nil {
 		k.rec.ContextCreated(id, parentID, target, at)
-		k.rec.ContextReady(id, target, len(k.ready[target]), at)
+		k.rec.ContextReady(id, target, k.ready[target].len(), at)
 	}
 	return c, target
 }
 
 // Context returns a live context by identifier.
 func (k *Kernel) Context(id int) (*pe.Context, error) {
-	c, ok := k.contexts[id]
-	if !ok {
+	if id < 0 || id >= len(k.contexts) || k.contexts[id] == nil {
 		return nil, fmt.Errorf("kernel: no context %d", id)
 	}
-	return c, nil
+	return k.contexts[id], nil
 }
 
 // Home reports the processing element hosting a context.
 func (k *Kernel) Home(id int) (int, error) {
-	p, ok := k.home[id]
-	if !ok {
+	if id < 0 || id >= len(k.contexts) || k.contexts[id] == nil {
 		return 0, fmt.Errorf("kernel: no context %d", id)
 	}
-	return p, nil
+	return int(k.home[id]), nil
 }
 
 // Ready marks a blocked context runnable, appending it to its processing
@@ -140,18 +170,18 @@ func (k *Kernel) Home(id int) (int, error) {
 // `at` is the simulated time of the unblocking event, used only for
 // instrumentation.
 func (k *Kernel) Ready(id int, at int64) error {
-	c, ok := k.contexts[id]
-	if !ok {
+	if id < 0 || id >= len(k.contexts) || k.contexts[id] == nil {
 		return fmt.Errorf("kernel: ready on unknown context %d", id)
 	}
+	c := k.contexts[id]
 	if c.Status == pe.Ready || c.Status == pe.Done {
 		return fmt.Errorf("kernel: context %d cannot become ready from %v", id, c.Status)
 	}
 	c.Status = pe.Ready
-	p := k.home[id]
-	k.ready[p] = append(k.ready[p], id)
+	p := int(k.home[id])
+	k.ready[p].push(id)
 	if k.rec != nil {
-		k.rec.ContextReady(id, p, len(k.ready[p]), at)
+		k.rec.ContextReady(id, p, k.ready[p].len(), at)
 	}
 	return nil
 }
@@ -159,19 +189,17 @@ func (k *Kernel) Ready(id int, at int64) error {
 // NextReady pops the next runnable context for a processing element,
 // returning nil when its ready queue is empty.
 func (k *Kernel) NextReady(peID int) *pe.Context {
-	q := k.ready[peID]
-	if len(q) == 0 {
+	id, ok := k.ready[peID].pop()
+	if !ok {
 		return nil
 	}
-	id := q[0]
-	k.ready[peID] = q[1:]
 	c := k.contexts[id]
 	c.Status = pe.Running
 	return c
 }
 
 // ReadyCount reports the length of a processing element's ready queue.
-func (k *Kernel) ReadyCount(peID int) int { return len(k.ready[peID]) }
+func (k *Kernel) ReadyCount(peID int) int { return k.ready[peID].len() }
 
 // Resident reports how many live contexts a processing element hosts.
 func (k *Kernel) Resident(peID int) int { return k.resident[peID] }
@@ -180,17 +208,17 @@ func (k *Kernel) Resident(peID int) int { return k.resident[peID] }
 // page and removing it from its processing element. `at` is the simulated
 // time of the exit trap, used only for instrumentation.
 func (k *Kernel) Exit(id int, at int64) error {
-	c, ok := k.contexts[id]
-	if !ok {
+	if id < 0 || id >= len(k.contexts) || k.contexts[id] == nil {
 		return fmt.Errorf("kernel: exit of unknown context %d", id)
 	}
+	c := k.contexts[id]
 	c.Status = pe.Done
-	p := k.home[id]
+	p := int(k.home[id])
 	k.resident[p]--
 	k.live--
 	k.Stats.ContextsFinished++
-	delete(k.contexts, id)
-	delete(k.home, id)
+	k.contexts[id] = nil
+	k.freeCtx = append(k.freeCtx, c)
 	if k.rec != nil {
 		k.rec.ContextExited(id, p, at)
 	}
@@ -204,8 +232,8 @@ func (k *Kernel) Live() int { return k.live }
 func (k *Kernel) Snapshot() []string {
 	var out []string
 	for id := 0; id < k.nextCtx; id++ {
-		c, ok := k.contexts[id]
-		if !ok {
+		c := k.contexts[id]
+		if c == nil {
 			continue
 		}
 		out = append(out, fmt.Sprintf("context %d: graph %d pc %d %v on pe %d (parent %d)",

@@ -62,6 +62,7 @@ type entry struct {
 	receivers []ContextRef  // FIFO of blocked receivers
 	cellValue int32         // fetch-and-φ storage
 	isCell    bool
+	resident  bool // true while cached; false once spilled to backing memory
 	lastUse   uint64
 }
 
@@ -90,10 +91,21 @@ type Stats struct {
 }
 
 // Cache is one message processor's channel cache.
+//
+// Resident entries live in a flat slice so the eviction scan walks the
+// slice instead of iterating a map, and entries dropped in the empty state
+// are recycled through a free list, so steady-state channel traffic
+// allocates nothing. One map covers both cached and spilled entries — an
+// eviction to backing memory and the later reload are flag flips, not map
+// writes — and the victim choice is a pure minimum over (occupancy,
+// recency) with unique recency stamps, so it does not depend on slice
+// order.
 type Cache struct {
 	capacity int
-	entries  map[int32]*entry
-	backing  map[int32]*entry
+	byChan   map[int32]*entry // every known channel, resident or spilled
+	ents     []*entry         // resident entries, unordered
+	free     []*entry         // empty entries recycled after eviction
+	done     Completion
 	clock    uint64
 	Stats    Stats
 }
@@ -105,8 +117,8 @@ func New(capacity int) *Cache {
 	}
 	return &Cache{
 		capacity: capacity,
-		entries:  make(map[int32]*entry),
-		backing:  make(map[int32]*entry),
+		byChan:   make(map[int32]*entry, capacity),
+		ents:     make([]*entry, 0, capacity),
 	}
 }
 
@@ -116,17 +128,22 @@ func New(capacity int) *Cache {
 // the access missed the cache.
 func (c *Cache) lookup(ch int32) (*entry, bool) {
 	c.clock++
-	if e, ok := c.entries[ch]; ok {
+	e, known := c.byChan[ch]
+	if known && e.resident {
 		e.lastUse = c.clock
 		c.Stats.Hits++
 		return e, false
 	}
 	c.Stats.Misses++
-	e, ok := c.backing[ch]
-	if ok {
-		delete(c.backing, ch)
-	} else {
-		e = &entry{channel: ch}
+	if !known {
+		if n := len(c.free); n > 0 {
+			e = c.free[n-1]
+			c.free = c.free[:n-1]
+			e.channel = ch
+		} else {
+			e = &entry{channel: ch}
+		}
+		c.byChan[ch] = e
 	}
 	e.lastUse = c.clock
 	c.install(e)
@@ -134,43 +151,54 @@ func (c *Cache) lookup(ch int32) (*entry, bool) {
 }
 
 func (c *Cache) install(e *entry) {
-	if len(c.entries) >= c.capacity {
+	if len(c.ents) >= c.capacity {
 		c.evictOne()
 	}
-	c.entries[e.channel] = e
+	e.resident = true
+	c.ents = append(c.ents, e)
 }
 
 // evictOne removes the least recently used entry, preferring free (empty)
 // entries; occupied entries are written back to memory at eviction cost.
 // Recency stamps are unique, so the choice is deterministic.
 func (c *Cache) evictOne() {
-	var victim *entry
-	victimEmpty := false
-	for _, e := range c.entries {
-		isEmpty := e.state() == Empty
-		switch {
-		case victim == nil:
-			victim, victimEmpty = e, isEmpty
-		case isEmpty != victimEmpty:
-			if isEmpty {
-				victim, victimEmpty = e, true
-			}
-		case e.lastUse < victim.lastUse:
-			victim = e
-		}
-	}
-	if victim == nil {
+	if len(c.ents) == 0 {
 		return
 	}
-	delete(c.entries, victim.channel)
-	if victim.state() != Empty {
+	vi := 0
+	victim := c.ents[0]
+	victimEmpty := victim.state() == Empty
+	for i := 1; i < len(c.ents); i++ {
+		e := c.ents[i]
+		isEmpty := e.state() == Empty
+		switch {
+		case isEmpty != victimEmpty:
+			if isEmpty {
+				vi, victim, victimEmpty = i, e, true
+			}
+		case e.lastUse < victim.lastUse:
+			vi, victim = i, e
+		}
+	}
+	last := len(c.ents) - 1
+	c.ents[vi] = c.ents[last]
+	c.ents[last] = nil
+	c.ents = c.ents[:last]
+	victim.resident = false
+	if victimEmpty {
+		delete(c.byChan, victim.channel)
+		victim.cellValue = 0
+		victim.isCell = false
+		c.free = append(c.free, victim)
+	} else {
 		c.Stats.Evictions++
-		c.backing[victim.channel] = victim
 	}
 }
 
 // Completion describes a finished rendezvous: the two parties to unblock
-// and the transferred value.
+// and the transferred value. The pointer returned by Send and Recv refers
+// to per-cache scratch storage and is valid only until the next operation
+// on the same cache.
 type Completion struct {
 	Value    int32
 	Sender   ContextRef
@@ -186,11 +214,13 @@ func (c *Cache) Send(ch, val int32, sender ContextRef) (done *Completion, missed
 	if e.isCell {
 		return nil, missed, fmt.Errorf("mcache: channel %d is a fetch-and-φ cell", ch)
 	}
-	if len(e.receivers) > 0 {
+	if n := len(e.receivers); n > 0 {
 		r := e.receivers[0]
-		e.receivers = e.receivers[1:]
+		copy(e.receivers, e.receivers[1:])
+		e.receivers = e.receivers[:n-1]
 		c.Stats.Rendezvous++
-		return &Completion{Value: val, Sender: sender, Receiver: r}, missed, nil
+		c.done = Completion{Value: val, Sender: sender, Receiver: r}
+		return &c.done, missed, nil
 	}
 	e.senders = append(e.senders, waitingSend{val: val, sender: sender})
 	return nil, missed, nil
@@ -204,11 +234,13 @@ func (c *Cache) Recv(ch int32, receiver ContextRef) (done *Completion, missed bo
 	if e.isCell {
 		return nil, missed, fmt.Errorf("mcache: channel %d is a fetch-and-φ cell", ch)
 	}
-	if len(e.senders) > 0 {
+	if n := len(e.senders); n > 0 {
 		s := e.senders[0]
-		e.senders = e.senders[1:]
+		copy(e.senders, e.senders[1:])
+		e.senders = e.senders[:n-1]
 		c.Stats.Rendezvous++
-		return &Completion{Value: s.val, Sender: s.sender, Receiver: receiver}, missed, nil
+		c.done = Completion{Value: s.val, Sender: s.sender, Receiver: receiver}
+		return &c.done, missed, nil
 	}
 	e.receivers = append(e.receivers, receiver)
 	return nil, missed, nil
@@ -245,10 +277,7 @@ func (c *Cache) FetchAndStore(ch, val int32) (old int32, missed bool, err error)
 // ChannelState reports the externally visible state of a channel without
 // disturbing cache statistics or recency (a debugging/verification probe).
 func (c *Cache) ChannelState(ch int32) State {
-	if e, ok := c.entries[ch]; ok {
-		return e.state()
-	}
-	if e, ok := c.backing[ch]; ok {
+	if e, ok := c.byChan[ch]; ok {
 		return e.state()
 	}
 	return Empty
@@ -256,10 +285,7 @@ func (c *Cache) ChannelState(ch int32) State {
 
 // PendingWaiters reports how many parties are blocked on the channel.
 func (c *Cache) PendingWaiters(ch int32) int {
-	e, ok := c.entries[ch]
-	if !ok {
-		e, ok = c.backing[ch]
-	}
+	e, ok := c.byChan[ch]
 	if !ok {
 		return 0
 	}
@@ -267,4 +293,4 @@ func (c *Cache) PendingWaiters(ch int32) int {
 }
 
 // Resident reports the number of entries currently held in the cache.
-func (c *Cache) Resident() int { return len(c.entries) }
+func (c *Cache) Resident() int { return len(c.ents) }

@@ -19,35 +19,44 @@ type MemoryBus interface {
 	StoreByte(peID int, byteAddr, val int32) (int, error)
 }
 
-// Action describes an operation that the processing element cannot complete
-// by itself and hands to the surrounding system (message processor or
-// kernel).
-type Action interface{ action() }
+// ActionKind discriminates the operations a processing element cannot
+// complete by itself and hands to the surrounding system (message processor
+// or kernel). The kind and its payload live inline in the Outcome rather
+// than behind an interface so the execute path never boxes a value onto the
+// heap.
+type ActionKind uint8
 
-// SendAction asks the message system to send Val on channel Ch. The context
-// blocks until the rendezvous completes.
-type SendAction struct{ Ch, Val int32 }
-
-// RecvAction asks the message system for a value from channel Ch. The
-// context blocks until a sender arrives; the value is delivered via
-// Machine.Complete.
-type RecvAction struct{ Ch int32 }
-
-// TrapAction invokes the kernel entry point Code with argument Arg; results
-// (if any) are delivered via Machine.Complete.
-type TrapAction struct{ Code, Arg int32 }
-
-func (SendAction) action() {}
-func (RecvAction) action() {}
-func (TrapAction) action() {}
+const (
+	// ActNone: the instruction completed locally.
+	ActNone ActionKind = iota
+	// ActSend asks the message system to send Val on channel Ch. The
+	// context blocks until the rendezvous completes.
+	ActSend
+	// ActRecv asks the message system for a value from channel Ch. The
+	// context blocks until a sender arrives; the value is delivered via
+	// Machine.Complete.
+	ActRecv
+	// ActTrap invokes the kernel entry point Code with argument Arg;
+	// results (if any) are delivered via Machine.Complete.
+	ActTrap
+)
 
 // Outcome reports the execution of one instruction.
 type Outcome struct {
 	Cycles int
-	// Action is non-nil when the instruction requires external
+	// Queue is the operand-queue span sampled at issue (§5.2's queue
+	// length). The machine also accumulates it into Stats.QueueSum;
+	// returning it makes the outcome self-contained for batching callers
+	// that fold per-instruction statistics without re-reading the context.
+	Queue int
+	// Act is non-ActNone when the instruction requires external
 	// completion; the context must not execute further until the system
 	// completes or resumes it.
-	Action Action
+	Act ActionKind
+	// Ch and Val carry the ActSend payload; ActRecv uses Ch alone.
+	Ch, Val int32
+	// Code and Arg carry the ActTrap payload.
+	Code, Arg int32
 }
 
 // Stats counts the events of one processing element's instruction stream.
@@ -78,31 +87,37 @@ func (s *Stats) AvgQueueLength() float64 {
 // execution.
 type Program struct {
 	Obj    *isa.Object
-	graphs []map[int]decodedInstr
+	graphs [][]decodedInstr
 }
 
 type decodedInstr struct {
 	in    isa.Instr
-	words int
+	info  isa.Info
+	words int // 0 marks a slot that is not the start of an instruction
 }
 
-// LoadProgram validates and pre-decodes an object program.
+// LoadProgram validates and pre-decodes an object program. Each graph's
+// stream decodes into a dense array indexed by program counter — the fetch
+// on the simulator's hot path is an array load, not a map probe — with the
+// opcode's static Info cached alongside so execution never consults the
+// opcode table.
 func LoadProgram(obj *isa.Object) (*Program, error) {
 	if err := obj.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Program{Obj: obj, graphs: make([]map[int]decodedInstr, len(obj.Graphs))}
+	p := &Program{Obj: obj, graphs: make([][]decodedInstr, len(obj.Graphs))}
 	for gi, g := range obj.Graphs {
-		m := make(map[int]decodedInstr)
+		code := make([]decodedInstr, len(g.Code))
 		for pc := 0; pc < len(g.Code); {
 			in, n, err := isa.Decode(g.Code[pc:])
 			if err != nil {
 				return nil, fmt.Errorf("pe: graph %q pc %d: %w", g.Name, pc, err)
 			}
-			m[pc] = decodedInstr{in: in, words: n}
+			info, _ := isa.Lookup(in.Op)
+			code[pc] = decodedInstr{in: in, info: info, words: n}
 			pc += n
 		}
-		p.graphs[gi] = m
+		p.graphs[gi] = code
 	}
 	return p, nil
 }
@@ -173,7 +188,10 @@ func (m *Machine) writeReg(c *Context, reg int, val int32) error {
 			return err
 		}
 		c.Page[idx] = val
-		c.inWindow[idx] = true
+		if !c.inWindow[idx] {
+			c.inWindow[idx] = true
+			c.winCount++
+		}
 		if c.QP+reg > c.highWater {
 			c.highWater = c.QP + reg
 		}
@@ -209,7 +227,11 @@ func (m *Machine) writeResult(c *Context, in isa.Instr, val int32) error {
 // bits of the freed window registers.
 func (c *Context) advanceQP(n int) {
 	for i := 0; i < n && i < len(c.Page); i++ {
-		c.inWindow[(c.QP+i)%len(c.Page)] = false
+		idx := (c.QP + i) % len(c.Page)
+		if c.inWindow[idx] {
+			c.inWindow[idx] = false
+			c.winCount--
+		}
 	}
 	c.QP += n
 }
@@ -226,40 +248,44 @@ func (m *Machine) ExecOne(c *Context, now int64) (Outcome, error) {
 	graph, pc := c.Graph, c.PC
 	out, err := m.execOne(c)
 	if err == nil {
-		op := m.Prog.graphs[graph][pc].in.Op
-		info, _ := isa.Lookup(op)
-		m.rec.Instr(m.PEID, c.ID, graph, pc, info.Mnemonic, now, out.Cycles)
+		m.rec.Instr(m.PEID, c.ID, graph, pc, m.Prog.graphs[graph][pc].info.Mnemonic, now, out.Cycles)
 	}
 	return out, err
 }
 
 func (m *Machine) execOne(c *Context) (Outcome, error) {
 	g := m.Prog.graphs[c.Graph]
-	d, ok := g[c.PC]
-	if !ok {
+	if c.PC < 0 || c.PC >= len(g) || g[c.PC].words == 0 {
 		return Outcome{}, fmt.Errorf("pe: context %d: no instruction at graph %d pc %d", c.ID, c.Graph, c.PC)
 	}
+	d := &g[c.PC]
 	in := d.in
-	info, _ := isa.Lookup(in.Op)
+	info := d.info
 	m.Stats.Instructions++
-	m.Stats.QueueSum += int64(c.QueueLength())
+	queue := c.QueueLength()
+	m.Stats.QueueSum += int64(queue)
 	cycles := m.Params.ALU
 
 	if in.IsDup() {
 		// dup writes the previous result directly into the memory
 		// page at the given offsets (§5.3.3: offsets below 16 also
-		// write memory, not the window).
-		offsets := []int{in.Dst1}
+		// write memory, not the window). The offsets stay in a stack
+		// array: the hot loop must not allocate.
+		offsets := [2]int{in.Dst1, in.Dst2}
+		n := 1
 		if in.Op == isa.OpDup2 {
-			offsets = append(offsets, in.Dst2)
+			n = 2
 		}
-		for _, off := range offsets {
+		for _, off := range offsets[:n] {
 			if off >= len(c.Page) {
 				return Outcome{}, fmt.Errorf("pe: context %d: dup offset %d exceeds queue page %d", c.ID, off, len(c.Page))
 			}
 			idx := (c.QP + off) % len(c.Page)
 			c.Page[idx] = c.LastResult
-			c.inWindow[idx] = false
+			if c.inWindow[idx] {
+				c.inWindow[idx] = false
+				c.winCount--
+			}
 			if c.QP+off > c.highWater {
 				c.highWater = c.QP + off
 			}
@@ -267,7 +293,7 @@ func (m *Machine) execOne(c *Context) (Outcome, error) {
 		}
 		c.PC += d.words
 		m.Stats.Cycles += int64(cycles)
-		return Outcome{Cycles: cycles}, nil
+		return Outcome{Cycles: cycles, Queue: queue}, nil
 	}
 
 	// Source operands.
@@ -342,11 +368,11 @@ func (m *Machine) execOne(c *Context) (Outcome, error) {
 		cycles += m.Params.ChanOp
 		if in.Op == isa.OpSend {
 			m.Stats.Cycles += int64(cycles)
-			return Outcome{Cycles: cycles, Action: SendAction{Ch: v1, Val: v2}}, nil
+			return Outcome{Cycles: cycles, Queue: queue, Act: ActSend, Ch: v1, Val: v2}, nil
 		}
 		c.PendDst1, c.PendDst2 = in.Dst1, in.Dst2
 		m.Stats.Cycles += int64(cycles)
-		return Outcome{Cycles: cycles, Action: RecvAction{Ch: v1}}, nil
+		return Outcome{Cycles: cycles, Queue: queue, Act: ActRecv, Ch: v1}, nil
 	case info.Trap:
 		if in.Op == isa.OpFret || in.Op == isa.OpRett {
 			return Outcome{}, fmt.Errorf("pe: context %d: %v outside kernel mode", c.ID, in.Op)
@@ -355,7 +381,7 @@ func (m *Machine) execOne(c *Context) (Outcome, error) {
 		cycles += m.Params.Trap
 		c.PendDst1, c.PendDst2 = in.Dst1, in.Dst2
 		m.Stats.Cycles += int64(cycles)
-		return Outcome{Cycles: cycles, Action: TrapAction{Code: v1, Arg: v2}}, nil
+		return Outcome{Cycles: cycles, Queue: queue, Act: ActTrap, Code: v1, Arg: v2}, nil
 	default:
 		// Logical, arithmetic or comparison operation.
 		val, err := isa.EvalALU(in.Op, v1, v2)
@@ -367,7 +393,7 @@ func (m *Machine) execOne(c *Context) (Outcome, error) {
 		}
 	}
 	m.Stats.Cycles += int64(cycles)
-	return Outcome{Cycles: cycles}, nil
+	return Outcome{Cycles: cycles, Queue: queue}, nil
 }
 
 // Complete delivers the result of a blocked recv or trap to the context's

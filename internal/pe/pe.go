@@ -142,6 +142,9 @@ type Context struct {
 	// span (§5.2's queue length, which divided by the page size gives the
 	// page utilization) is highWater - QP + 1.
 	highWater int
+	// winCount tracks the number of set presence bits so RollOut can
+	// report (and clear) them without scanning an empty page.
+	winCount int
 	// Parent records the creating context for diagnostics.
 	Parent int
 }
@@ -159,6 +162,26 @@ func NewContext(id, graph, pageWords int) *Context {
 		PendDst2:  isa.RegDummy,
 		highWater: -1,
 	}
+}
+
+// Reset reinitializes a recycled context in place, equivalent to
+// NewContext(id, graph, len(c.Page)) without the two allocations. The
+// kernel pools dead contexts and resets them on the fork path.
+func (c *Context) Reset(id, graph int) {
+	c.ID = id
+	c.Graph = graph
+	c.PC = 0
+	c.QP = 0
+	clear(c.Page)
+	clear(c.inWindow)
+	c.Globals = [16]int32{}
+	c.Status = Ready
+	c.LastResult = 0
+	c.PendDst1 = isa.RegDummy
+	c.PendDst2 = isa.RegDummy
+	c.highWater = -1
+	c.winCount = 0
+	c.Parent = 0
 }
 
 // QueueLength reports the context's current operand queue span.
@@ -199,13 +222,20 @@ func (c *Context) WindowOccupancy() int {
 // accounting, which matches the architecture: a value is always rolled out
 // to its own page slot).
 func (c *Context) RollOut() int {
-	n := 0
+	n := c.winCount
+	if n == 0 {
+		return 0
+	}
+	cleared := 0
 	for i := range c.inWindow {
 		if c.inWindow[i] {
 			c.inWindow[i] = false
-			n++
+			if cleared++; cleared == n {
+				break
+			}
 		}
 	}
+	c.winCount = 0
 	return n
 }
 

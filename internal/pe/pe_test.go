@@ -19,15 +19,15 @@ func runToExit(t *testing.T, m *Machine, c *Context, maxInstr int) int {
 			t.Fatalf("ExecOne: %v", err)
 		}
 		cycles += out.Cycles
-		switch a := out.Action.(type) {
-		case nil:
-		case TrapAction:
-			if a.Code == isa.KExit {
+		switch out.Act {
+		case ActNone:
+		case ActTrap:
+			if out.Code == isa.KExit {
 				return cycles
 			}
-			t.Fatalf("unexpected trap %d", a.Code)
+			t.Fatalf("unexpected trap %d", out.Code)
 		default:
-			t.Fatalf("unexpected action %T", out.Action)
+			t.Fatalf("unexpected action %d", out.Act)
 		}
 	}
 	t.Fatal("context did not exit")
@@ -201,17 +201,15 @@ func TestSendRecvActions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	send, ok := out.Action.(SendAction)
-	if !ok || send.Ch != 7 || send.Val != 3 {
-		t.Fatalf("send action = %#v", out.Action)
+	if out.Act != ActSend || out.Ch != 7 || out.Val != 3 {
+		t.Fatalf("send action = %#v", out)
 	}
 	out, err = m.ExecOne(c, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	recv, ok := out.Action.(RecvAction)
-	if !ok || recv.Ch != 7 {
-		t.Fatalf("recv action = %#v", out.Action)
+	if out.Act != ActRecv || out.Ch != 7 {
+		t.Fatalf("recv action = %#v", out)
 	}
 	// Deliver the value and check it lands in r0.
 	if err := m.Complete(c, 42); err != nil {
@@ -233,9 +231,8 @@ func TestTrapChannels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, ok := out.Action.(TrapAction)
-	if !ok || tr.Code != isa.KRFork {
-		t.Fatalf("action = %#v", out.Action)
+	if out.Act != ActTrap || out.Code != isa.KRFork {
+		t.Fatalf("action = %#v", out)
 	}
 	if err := m.Complete2(c, 100, 101); err != nil {
 		t.Fatal(err)

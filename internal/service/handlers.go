@@ -230,7 +230,12 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 			}
 			obj, resp.Cached, resp.Fingerprint = art.Object, cached, fp
 		}
+		// The response only carries the data segment when the client asked
+		// for it, so skip the per-run O(DataWords) copy otherwise.
+		params.KeepData = req.DumpData
+		simStart := time.Now()
 		res, err := sim.RunContext(ctx, obj, pes, params)
+		simTime := time.Since(simStart)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, err // maps to 504 via the wrapped context error
@@ -240,7 +245,10 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 			return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
 		}
 		s.cyclesServed.Add(res.Cycles)
+		s.instrsServed.Add(res.Instructions)
+		s.simNanos.Add(int64(simTime))
 		resp.Stats = NewRunStats(res, req.DumpData)
+		resp.Stats.SetHostTime(simTime)
 		return resp, nil
 	})
 	if err != nil {

@@ -66,6 +66,8 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"", st.Errors)
 	counter("qmd_sim_cycles_total", "Simulated cycles served by successful runs.",
 		"", st.CyclesServed)
+	counter("qmd_sim_instructions_total", "Simulated instructions served by successful runs.",
+		"", st.InstructionsServed)
 	counter("qmd_cache_hits_total", "Artifact cache hits.", "", st.Cache.Hits)
 	counter("qmd_cache_misses_total", "Artifact cache misses.", "", st.Cache.Misses)
 	counter("qmd_cache_evictions_total", "Artifact cache evictions.", "", st.Cache.Evictions)
@@ -75,6 +77,8 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("qmd_pool_in_flight", "Jobs currently executing.", st.InFlight)
 	gauge("qmd_pool_queued", "Jobs waiting in the admission queue.", st.Queued)
 	gauge("qmd_pool_queue_capacity", "Admission queue capacity.", st.QueueCapacity)
+	gauge("qmd_host_mips", "Service-lifetime average simulator throughput, "+
+		"million simulated instructions per host second.", st.HostMIPS)
 	gauge("qmd_draining", "1 while the service is draining, else 0.", boolGauge(st.Draining))
 	gauge("qmd_uptime_seconds", "Seconds since the service started.",
 		fmt.Sprintf("%.3f", st.UptimeSeconds))

@@ -88,6 +88,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"qmd_shed_total":                         float64(st.Rejected),
 		"qmd_errors_total":                       float64(st.Errors),
 		"qmd_sim_cycles_total":                   float64(st.CyclesServed),
+		"qmd_sim_instructions_total":             float64(st.InstructionsServed),
+		"qmd_host_mips":                          st.HostMIPS,
 		"qmd_cache_hits_total":                   float64(st.Cache.Hits),
 		"qmd_cache_misses_total":                 float64(st.Cache.Misses),
 		"qmd_cache_evictions_total":              float64(st.Cache.Evictions),
@@ -115,6 +117,10 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if st.CyclesServed <= 0 {
 		t.Errorf("cycles_served = %d, want > 0", st.CyclesServed)
+	}
+	if st.InstructionsServed <= 0 || st.SimSeconds <= 0 || st.HostMIPS <= 0 {
+		t.Errorf("host throughput counters = instrs %d, sim_seconds %g, host_mips %g; want all > 0",
+			st.InstructionsServed, st.SimSeconds, st.HostMIPS)
 	}
 	// Compile 1 misses; compile 2, run 1, and run 2 hit; the fresh run
 	// misses again.

@@ -103,7 +103,8 @@ type Service struct {
 
 	draining                        atomic.Bool
 	compiles, runs, rejected, fails atomic.Int64
-	cyclesServed                    atomic.Int64
+	cyclesServed, instrsServed      atomic.Int64
+	simNanos                        atomic.Int64 // wall-clock ns spent inside sim.RunContext
 }
 
 // New builds a service; it is ready to serve as soon as its Handler is

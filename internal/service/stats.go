@@ -30,12 +30,29 @@ type RunStats struct {
 	RingWaitCycles  int64   `json:"ring_wait_cycles"`
 	MemReads        int64   `json:"mem_reads"`
 	MemWrites       int64   `json:"mem_writes"`
+	// HostSeconds and HostMIPS report the wall-clock cost of the run on
+	// the host and the simulator's throughput in millions of simulated
+	// instructions per host second. Present when the producer timed the
+	// run (qsim -json, the /run endpoint); unlike every other field they
+	// describe the simulator, not the simulated machine, and vary with
+	// host load.
+	HostSeconds float64 `json:"host_seconds,omitempty"`
+	HostMIPS    float64 `json:"host_mips,omitempty"`
 	// Data is the final static data segment, included only on request
 	// (it can dwarf the statistics).
 	Data []int32 `json:"data,omitempty"`
 	// Timeline is the cycle-sampled time series, present only when the run
 	// was collected with one (qsim -timeline).
 	Timeline *trace.Series `json:"timeline,omitempty"`
+}
+
+// SetHostTime records the run's wall-clock duration and derives the
+// host-throughput figure from the instruction count.
+func (rs *RunStats) SetHostTime(d time.Duration) {
+	rs.HostSeconds = d.Seconds()
+	if rs.HostSeconds > 0 {
+		rs.HostMIPS = float64(rs.Instructions) / rs.HostSeconds / 1e6
+	}
 }
 
 // NewRunStats projects a sim.Result into its serving form. The data
@@ -80,25 +97,41 @@ type ServiceStats struct {
 	InFlight      int64   `json:"in_flight"`
 	Queued        int     `json:"queued"`
 	QueueCapacity int     `json:"queue_capacity"`
-	// CyclesServed totals the simulated cycles of every successful /run.
-	CyclesServed int64      `json:"cycles_served"`
-	Cache        CacheStats `json:"cache"`
+	// CyclesServed and InstructionsServed total the simulated cycles and
+	// instructions of every successful /run.
+	CyclesServed       int64 `json:"cycles_served"`
+	InstructionsServed int64 `json:"instructions_served"`
+	// SimSeconds is the cumulative wall-clock time workers spent inside the
+	// simulator, and HostMIPS the service-lifetime average simulator
+	// throughput (million simulated instructions per host second).
+	SimSeconds float64    `json:"sim_seconds"`
+	HostMIPS   float64    `json:"host_mips"`
+	Cache      CacheStats `json:"cache"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() ServiceStats {
+	simSecs := time.Duration(s.simNanos.Load()).Seconds()
+	instrs := s.instrsServed.Load()
+	var mips float64
+	if simSecs > 0 {
+		mips = float64(instrs) / simSecs / 1e6
+	}
 	return ServiceStats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Draining:      s.draining.Load(),
-		Compiles:      s.compiles.Load(),
-		Runs:          s.runs.Load(),
-		Rejected:      s.rejected.Load(),
-		Errors:        s.fails.Load(),
-		Workers:       s.cfg.Workers,
-		InFlight:      s.pool.inFlight.Load(),
-		Queued:        s.pool.queued(),
-		QueueCapacity: s.pool.capacity(),
-		CyclesServed:  s.cyclesServed.Load(),
-		Cache:         s.cache.stats(),
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Draining:           s.draining.Load(),
+		Compiles:           s.compiles.Load(),
+		Runs:               s.runs.Load(),
+		Rejected:           s.rejected.Load(),
+		Errors:             s.fails.Load(),
+		Workers:            s.cfg.Workers,
+		InFlight:           s.pool.inFlight.Load(),
+		Queued:             s.pool.queued(),
+		QueueCapacity:      s.pool.capacity(),
+		CyclesServed:       s.cyclesServed.Load(),
+		InstructionsServed: instrs,
+		SimSeconds:         simSecs,
+		HostMIPS:           mips,
+		Cache:              s.cache.stats(),
 	}
 }

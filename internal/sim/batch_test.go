@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"queuemachine/internal/bintree"
+	"queuemachine/internal/compile"
+	"queuemachine/internal/exprgen"
+	"queuemachine/internal/isa"
+	"queuemachine/internal/trace"
+	"queuemachine/internal/workloads"
+)
+
+// logRecorder serializes every instrumentation hook into one text log, in
+// arrival order. Two runs with byte-identical logs made exactly the same
+// hook calls with exactly the same arguments — the strongest observable
+// equality the recorder interface offers.
+type logRecorder struct {
+	every int64
+	b     strings.Builder
+}
+
+func (l *logRecorder) SampleEvery() int64 { return l.every }
+
+func (l *logRecorder) BeginRun(pe, ctx int, at, sw int64, resumed bool) {
+	fmt.Fprintf(&l.b, "begin %d %d %d %d %v\n", pe, ctx, at, sw, resumed)
+}
+
+func (l *logRecorder) EndRun(pe, ctx int, at int64, reason trace.EndReason) {
+	fmt.Fprintf(&l.b, "end %d %d %d %v\n", pe, ctx, at, reason)
+}
+
+func (l *logRecorder) Instr(pe, ctx, graph, pc int, op string, at int64, cycles int) {
+	fmt.Fprintf(&l.b, "instr %d %d %d %d %s %d %d\n", pe, ctx, graph, pc, op, at, cycles)
+}
+
+func (l *logRecorder) ContextCreated(ctx, parent, pe int, at int64) {
+	fmt.Fprintf(&l.b, "created %d %d %d %d\n", ctx, parent, pe, at)
+}
+
+func (l *logRecorder) ContextReady(ctx, pe, depth int, at int64) {
+	fmt.Fprintf(&l.b, "ready %d %d %d %d\n", ctx, pe, depth, at)
+}
+
+func (l *logRecorder) ContextExited(ctx, pe int, at int64) {
+	fmt.Fprintf(&l.b, "exited %d %d %d\n", ctx, pe, at)
+}
+
+func (l *logRecorder) MsgOp(pe int, ch int32, op trace.ChanOp, start, end int64, hit, completed bool) {
+	fmt.Fprintf(&l.b, "msgop %d %d %v %d %d %v %v\n", pe, ch, op, start, end, hit, completed)
+}
+
+func (l *logRecorder) RingTransfer(from, to int, start, end, wait int64) {
+	fmt.Fprintf(&l.b, "ring %d %d %d %d %d\n", from, to, start, end, wait)
+}
+
+func (l *logRecorder) Sample(at int64, s trace.MachineSample) {
+	fmt.Fprintf(&l.b, "sample %d %+v\n", at, s)
+}
+
+// renderExpr turns a Decorate-labelled exprgen tree into an OCCAM
+// expression over its leaf variables.
+func renderExpr(n *bintree.Node) string {
+	switch n.Arity() {
+	case 0:
+		return n.Label
+	case 1:
+		return "(0 - " + renderExpr(n.Left) + ")"
+	default:
+		return "(" + renderExpr(n.Left) + " " + n.Label + " " + renderExpr(n.Right) + ")"
+	}
+}
+
+// exprProgram generates a seeded random OCCAM program: a par of workers,
+// each evaluating a random expression tree over leaf variables derived from
+// the worker index. The result values don't matter — only that batched and
+// unbatched simulations of the same program agree on everything.
+func exprProgram(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := 5 + rng.Intn(9) // ≤ 13 nodes → ≤ 7 leaves, all named a..g
+	tree, leaves := exprgen.Decorate(exprgen.Random(nodes, rng))
+	workers := 2 + rng.Intn(5)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "def nw = %d:\nvar out[nw]:\n", workers)
+	b.WriteString("proc eval(value t) =\n")
+	// Decorate names leaves "aa", "ab", ... (exprgen.leafName).
+	names := make([]string, leaves)
+	for i := range names {
+		names[i] = "a" + string(rune('a'+i))
+	}
+	fmt.Fprintf(&b, "  var %s:\n", strings.Join(names, ", "))
+	b.WriteString("  seq\n")
+	for i, name := range names {
+		fmt.Fprintf(&b, "    %s := ((t + %d) \\ 9) - 4\n", name, i+rng.Intn(5))
+	}
+	fmt.Fprintf(&b, "    out[t] := %s\n", renderExpr(tree))
+	b.WriteString("seq\n  par t = [0 for nw]\n    eval(t)\n")
+	return b.String()
+}
+
+// runMode executes obj once, batched or not, with a full-log recorder and a
+// Chrome recorder attached, and returns the result plus both serializations.
+func runMode(t *testing.T, obj *isa.Object, numPEs int, noBatch bool) (*Result, string, []byte) {
+	t.Helper()
+	params := DefaultParams()
+	params.NoBatch = noBatch
+	sys, err := New(obj, numPEs, params)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	logRec := &logRecorder{every: 64}
+	chrome := trace.NewChrome(64)
+	sys.SetRecorder(trace.Multi(chrome, logRec))
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("Run (noBatch=%v): %v", noBatch, err)
+	}
+	var buf bytes.Buffer
+	if err := chrome.Write(&buf); err != nil {
+		t.Fatalf("Chrome.Write: %v", err)
+	}
+	return res, logRec.b.String(), buf.Bytes()
+}
+
+// checkBatchEquivalence asserts the straight-line batching property: with
+// batching on and off, a program produces an identical Result, an identical
+// hook-call log, and a byte-identical Chrome trace on every PE count.
+func checkBatchEquivalence(t *testing.T, name string, obj *isa.Object, peCounts []int) {
+	t.Helper()
+	for _, pes := range peCounts {
+		batched, batchedLog, batchedTrace := runMode(t, obj, pes, false)
+		plain, plainLog, plainTrace := runMode(t, obj, pes, true)
+		if !reflect.DeepEqual(batched, plain) {
+			t.Errorf("%s on %d PEs: batched Result differs from event-per-step Result\nbatched: %+v\nplain:   %+v",
+				name, pes, batched, plain)
+		}
+		if batchedLog != plainLog {
+			t.Errorf("%s on %d PEs: recorder hook streams differ (batched %d bytes, plain %d bytes): %s",
+				name, pes, len(batchedLog), len(plainLog), firstLogDiff(batchedLog, plainLog))
+		}
+		if !bytes.Equal(batchedTrace, plainTrace) {
+			t.Errorf("%s on %d PEs: Chrome traces differ (%d vs %d bytes)",
+				name, pes, len(batchedTrace), len(plainTrace))
+		}
+	}
+}
+
+// firstLogDiff reports the first differing line of two hook logs.
+func firstLogDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("line count %d vs %d", len(al), len(bl))
+}
+
+// TestBatchEquivalenceWorkloads drives the property over the Chapter 6
+// benchmark programs at small sizes.
+func TestBatchEquivalenceWorkloads(t *testing.T) {
+	cases := []workloads.Workload{
+		workloads.MatMul(3),
+		workloads.FFT(2),
+		workloads.Cholesky(3),
+		workloads.Congruence(3),
+		workloads.BinaryRecursiveSum(6),
+		workloads.IterativeSum(6),
+	}
+	for _, w := range cases {
+		art, err := compile.Compile(w.Source, compile.Options{})
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", w.Name, err)
+		}
+		checkBatchEquivalence(t, w.Name, art.Object, []int{1, 2, 3, 8})
+	}
+}
+
+// TestBatchEquivalenceRandomPrograms drives the property over seeded random
+// expression programs with varying fan-out.
+func TestBatchEquivalenceRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		src := exprProgram(seed)
+		art, err := compile.Compile(src, compile.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Compile: %v\n%s", seed, err, src)
+		}
+		checkBatchEquivalence(t, fmt.Sprintf("expr-seed-%d", seed), art.Object, []int{1, 2, 5, 8})
+	}
+}
+
+// TestBatchEquivalenceAssembly covers hand-written assembly patterns that
+// stress blocking shapes the compiler doesn't emit: tight rendezvous
+// ping-pong and real-time waits.
+func TestBatchEquivalenceAssembly(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		pes  []int
+	}{
+		{"single-context", singleContext, []int{1, 2}},
+		{"producer-consumer", producerConsumer, []int{1, 2, 4}},
+		{"fan-out", fanOut(4, 10), []int{1, 2, 4, 8}},
+		{"wait", waitProgram, []int{1, 2}},
+	} {
+		checkBatchEquivalence(t, tc.name, assemble(t, tc.src), tc.pes)
+	}
+}
+
+// TestKeepDataOptOut: with KeepData off the result omits the data-segment
+// copy and is otherwise unchanged.
+func TestKeepDataOptOut(t *testing.T) {
+	obj := assemble(t, singleContext)
+	params := DefaultParams()
+	withData, err := Run(obj, 1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.KeepData = false
+	without, err := Run(obj, 1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withData.Data == nil {
+		t.Error("KeepData=true run has no Data")
+	}
+	if without.Data != nil {
+		t.Errorf("KeepData=false run still copies Data (%d words)", len(without.Data))
+	}
+	without.Data = withData.Data
+	if !reflect.DeepEqual(withData, without) {
+		t.Errorf("KeepData changed more than Data:\nwith:    %+v\nwithout: %+v", withData, without)
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventQueueOrdering: the 4-ary heap pops in (time, seq) order for
+// adversarial insertion patterns, matching a stable reference sort.
+func TestEventQueueOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		var q eventQueue
+		ref := make([]event, 0, n)
+		for seq := 0; seq < n; seq++ {
+			e := event{
+				time: int64(rng.Intn(20)), // many ties to exercise seq order
+				seq:  uint64(seq),
+				pe:   int32(seq),
+			}
+			q.push(e)
+			ref = append(ref, e)
+		}
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].time != ref[j].time {
+				return ref[i].time < ref[j].time
+			}
+			return ref[i].seq < ref[j].seq
+		})
+		for i, want := range ref {
+			if q.len() == 0 {
+				t.Fatalf("trial %d: queue empty after %d pops, want %d", trial, i, n)
+			}
+			if got := q.peekTime(); got != want.time {
+				t.Fatalf("trial %d pop %d: peekTime = %d, want %d", trial, i, got, want.time)
+			}
+			got := q.pop()
+			if got.time != want.time || got.seq != want.seq {
+				t.Fatalf("trial %d pop %d: got (t=%d seq=%d), want (t=%d seq=%d)",
+					trial, i, got.time, got.seq, want.time, want.seq)
+			}
+		}
+		if q.len() != 0 {
+			t.Fatalf("trial %d: %d events left after draining", trial, q.len())
+		}
+	}
+}
+
+// TestEventQueuePeekEmpty: an empty queue's horizon is "never".
+func TestEventQueuePeekEmpty(t *testing.T) {
+	var q eventQueue
+	if got := q.peekTime(); got != horizonInf {
+		t.Errorf("empty peekTime = %d, want horizonInf", got)
+	}
+}
+
+// TestEventQueueSteadyStateAllocs: once the backing array has grown to its
+// high-water mark, push/pop cycles allocate nothing — the array is the
+// event free list.
+func TestEventQueueSteadyStateAllocs(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 64; i++ {
+		q.push(event{time: int64(i), seq: uint64(i)})
+	}
+	for q.len() > 0 {
+		q.pop()
+	}
+	var seq uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			seq++
+			q.push(event{time: int64(i % 7), seq: seq})
+		}
+		for q.len() > 0 {
+			q.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state push/pop allocates %v times per cycle, want 0", allocs)
+	}
+}

@@ -42,6 +42,17 @@ type Params struct {
 	// MaxCycles and MaxInstructions bound runaway simulations.
 	MaxCycles       int64
 	MaxInstructions int64
+	// KeepData copies the final data segment into Result.Data. On by
+	// default (tests and examples verify computed results against it);
+	// services that never read the segment turn it off to skip an
+	// O(DataWords) copy per request.
+	KeepData bool
+	// NoBatch disables straight-line step batching, forcing the event loop
+	// back to one heap round-trip per instruction. Results are identical
+	// either way — the flag exists purely as the differential-testing
+	// oracle for the batching equivalence property test and as a
+	// diagnostic escape hatch; it is never faster.
+	NoBatch bool
 }
 
 // DefaultParams is the configuration used for all Chapter 6 experiments.
@@ -57,6 +68,7 @@ func DefaultParams() Params {
 		StoreBroadcast:  2,
 		MaxCycles:       2_000_000_000,
 		MaxInstructions: 500_000_000,
+		KeepData:        true,
 	}
 }
 

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 
@@ -27,7 +26,8 @@ type Result struct {
 	Switches, Resumes, RolledRegisters int64
 	MemReads, MemWrites                int64
 	// Data is the final contents of the static data segment, for result
-	// verification.
+	// verification. It is populated only when Params.KeepData is set (the
+	// default): servers that never read the data segment skip the copy.
 	Data []int32
 }
 
@@ -84,6 +84,11 @@ type System struct {
 	sampleEvery int64
 	nextSample  int64
 
+	// runCtx is the context of the ongoing RunContext call; the batching
+	// loop polls it on an instruction-count cadence so a deadline aborts a
+	// long straight-line run even when no event boundary is near.
+	runCtx                        context.Context
+	instrsToPoll                  int
 	switches, resumes, rolledRegs int64
 	instructions                  int64
 	endTime                       int64
@@ -170,7 +175,14 @@ func (s *System) Run() (*Result, error) { return s.RunContext(context.Background
 // ctxPollEvents is how many events the loop processes between context
 // cancellation checks: often enough that a deadline aborts within
 // microseconds, rarely enough that the check costs nothing measurable.
-const ctxPollEvents = 1024
+// ctxPollInstrs is the same cadence counted in batched instructions: with
+// straight-line batching a single event can cover thousands of
+// instructions, so the event count alone would let a cancelled run spin
+// far past its deadline.
+const (
+	ctxPollEvents = 1024
+	ctxPollInstrs = 1024
+)
 
 // RunContext drives the event loop until every context has terminated or
 // ctx is done. Cancellation is checked between events, never mid-event, so
@@ -186,14 +198,16 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("sim: aborted before start: %w", err)
 	}
+	s.runCtx = ctx
+	s.instrsToPoll = ctxPollInstrs
 	var polled uint
-	for len(s.q) > 0 && !s.finished && s.err == nil {
+	for s.q.len() > 0 && !s.finished && s.err == nil {
 		if polled++; polled%ctxPollEvents == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("sim: aborted at cycle %d: %w", s.now, err)
 			}
 		}
-		e := heap.Pop(&s.q).(*event)
+		e := s.q.pop()
 		s.now = e.time
 		if s.now > s.p.MaxCycles {
 			s.err = fmt.Errorf("sim: exceeded %d cycles", s.p.MaxCycles)
@@ -217,7 +231,7 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		case evWake:
 			s.handleWake(e)
 		case evKick:
-			s.dispatch(e.pe)
+			s.dispatch(int(e.pe))
 		}
 	}
 	if s.err != nil {
@@ -240,7 +254,9 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		RolledRegisters: s.rolledRegs,
 		MemReads:        s.mem.Reads,
 		MemWrites:       s.mem.Writes,
-		Data:            append([]int32(nil), s.mem.words...),
+	}
+	if s.p.KeepData {
+		res.Data = append([]int32(nil), s.mem.words...)
 	}
 	for _, m := range s.machines {
 		res.PEStats = append(res.PEStats, m.Stats)
@@ -258,15 +274,15 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	return res, nil
 }
 
-func (s *System) schedule(t int64, e *event) {
+func (s *System) schedule(t int64, e event) {
 	e.time = t
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.q, e)
+	s.q.push(e)
 }
 
 func (s *System) scheduleKick(peID int, t int64) {
-	s.schedule(t, &event{kind: evKick, pe: peID})
+	s.schedule(t, event{kind: evKick, pe: int32(peID)})
 }
 
 func (s *System) fail(err error) {
@@ -330,46 +346,94 @@ func (s *System) dispatch(peID int) {
 	if s.rec != nil {
 		s.rec.BeginRun(peID, c.ID, s.now+cost, cost, resumed)
 	}
-	s.schedule(s.now+cost, &event{kind: evStep, pe: peID, ctx: c.ID})
+	s.schedule(s.now+cost, event{kind: evStep, pe: int32(peID), ctx: int32(c.ID)})
 }
 
-func (s *System) handleStep(e *event) {
+// handleStep executes the running context's next instruction — and, when
+// the run is straight-line, every following instruction whose issue time
+// stays strictly below the queue's next-event horizon. The batch is exact,
+// not an approximation: a running context can only be unseated by its own
+// blocking action (dispatch fills idle processing elements only), so the
+// per-instruction evStep events the old loop round-tripped through the
+// heap were a private countdown with no observers. An instruction whose
+// issue time reaches the horizon is deferred back through the queue,
+// because a queued event with the same time was scheduled earlier (smaller
+// seq) and must run first; this reproduces the (time, seq) pop order — and
+// with it every recorder hook, sample boundary, and watchdog trip —
+// bit-identically.
+func (s *System) handleStep(e event) {
 	c := s.running[e.pe]
-	if c == nil || c.ID != e.ctx {
+	if c == nil || c.ID != int(e.ctx) {
 		return // stale event after a switch
 	}
-	s.instructions++
-	if s.instructions > s.p.MaxInstructions {
-		s.fail(fmt.Errorf("sim: exceeded %d instructions", s.p.MaxInstructions))
-		return
+	m := s.machines[e.pe]
+	horizon := s.q.peekTime()
+	if s.p.NoBatch {
+		horizon = s.now // every step reaches the horizon: event-per-step
 	}
-	out, err := s.machines[e.pe].ExecOne(c, s.now)
-	if err != nil {
-		s.fail(err)
-		return
-	}
-	t := s.now + int64(out.Cycles)
-	switch a := out.Action.(type) {
-	case nil:
-		s.schedule(t, &event{kind: evStep, pe: e.pe, ctx: c.ID})
-	case pe.SendAction:
-		c.Status = pe.BlockedSend
-		s.running[e.pe] = nil
-		if s.rec != nil {
-			s.rec.EndRun(e.pe, c.ID, t, trace.EndBlockedSend)
+	for {
+		s.instructions++
+		if s.instructions > s.p.MaxInstructions {
+			s.fail(fmt.Errorf("sim: exceeded %d instructions", s.p.MaxInstructions))
+			return
 		}
-		s.routeChanOp(t, e.pe, opSend, a.Ch, a.Val, c.ID)
-		s.scheduleKick(e.pe, t)
-	case pe.RecvAction:
-		c.Status = pe.BlockedRecv
-		s.running[e.pe] = nil
-		if s.rec != nil {
-			s.rec.EndRun(e.pe, c.ID, t, trace.EndBlockedRecv)
+		out, err := m.ExecOne(c, s.now)
+		if err != nil {
+			s.fail(err)
+			return
 		}
-		s.routeChanOp(t, e.pe, opRecv, a.Ch, 0, c.ID)
-		s.scheduleKick(e.pe, t)
-	case pe.TrapAction:
-		s.handleTrap(e.pe, c, a, t)
+		t := s.now + int64(out.Cycles)
+		switch out.Act {
+		case pe.ActNone:
+			// Straight-line: fall through to the batch continuation test.
+		case pe.ActSend:
+			c.Status = pe.BlockedSend
+			s.running[e.pe] = nil
+			if s.rec != nil {
+				s.rec.EndRun(int(e.pe), c.ID, t, trace.EndBlockedSend)
+			}
+			s.routeChanOp(t, int(e.pe), opSend, out.Ch, out.Val, c.ID)
+			s.scheduleKick(int(e.pe), t)
+			return
+		case pe.ActRecv:
+			c.Status = pe.BlockedRecv
+			s.running[e.pe] = nil
+			if s.rec != nil {
+				s.rec.EndRun(int(e.pe), c.ID, t, trace.EndBlockedRecv)
+			}
+			s.routeChanOp(t, int(e.pe), opRecv, out.Ch, 0, c.ID)
+			s.scheduleKick(int(e.pe), t)
+			return
+		case pe.ActTrap:
+			s.handleTrap(int(e.pe), c, out.Code, out.Arg, t)
+			return
+		}
+		if t >= horizon {
+			s.schedule(t, event{kind: evStep, pe: e.pe, ctx: int32(c.ID)})
+			return
+		}
+		// The next step would be the heap minimum anyway; take it without
+		// the round-trip, replaying the bookkeeping the event pop would
+		// have done: advance the clock, trip the cycle watchdog, close
+		// sampling buckets, and poll for cancellation.
+		s.now = t
+		if s.now > s.p.MaxCycles {
+			s.fail(fmt.Errorf("sim: exceeded %d cycles", s.p.MaxCycles))
+			return
+		}
+		if s.sampleEvery > 0 {
+			for s.now >= s.nextSample {
+				s.emitSample(s.nextSample)
+				s.nextSample += s.sampleEvery
+			}
+		}
+		if s.instrsToPoll--; s.instrsToPoll <= 0 {
+			s.instrsToPoll = ctxPollInstrs
+			if err := s.runCtx.Err(); err != nil {
+				s.fail(fmt.Errorf("sim: aborted at cycle %d: %w", s.now, err))
+				return
+			}
+		}
 	}
 }
 
@@ -385,13 +449,13 @@ func (s *System) routeChanOp(t int64, fromPE int, op chanOp, ch, val int32, ctxI
 	if home != fromPE {
 		arrive = s.bus.Transfer(t, fromPE, home)
 	}
-	s.schedule(arrive, &event{kind: evChanReq, pe: home, op: op, ch: ch, val: val, ctx: ctxID, src: fromPE})
+	s.schedule(arrive, event{kind: evChanReq, pe: int32(home), op: op, ch: ch, val: val, ctx: int32(ctxID), src: int32(fromPE)})
 }
 
-func (s *System) handleChanReq(e *event) {
-	home := e.pe
+func (s *System) handleChanReq(e event) {
+	home := int(e.pe)
 	start := max(s.now, s.mpFree[home])
-	requester := mcache.ContextRef{PE: e.src, Ctx: e.ctx}
+	requester := mcache.ContextRef{PE: int(e.src), Ctx: int(e.ctx)}
 	var (
 		done   *mcache.Completion
 		missed bool
@@ -428,16 +492,16 @@ func (s *System) handleChanReq(e *event) {
 	if done.Receiver.PE != home {
 		rArrive = s.bus.Transfer(finish, home, done.Receiver.PE)
 	}
-	s.schedule(rArrive, &event{kind: evRecvDone, pe: done.Receiver.PE, ctx: done.Receiver.Ctx, val: done.Value})
+	s.schedule(rArrive, event{kind: evRecvDone, pe: int32(done.Receiver.PE), ctx: int32(done.Receiver.Ctx), val: done.Value})
 	sArrive := finish
 	if done.Sender.PE != home {
 		sArrive = s.bus.Transfer(finish, home, done.Sender.PE)
 	}
-	s.schedule(sArrive, &event{kind: evSendDone, pe: done.Sender.PE, ctx: done.Sender.Ctx})
+	s.schedule(sArrive, event{kind: evSendDone, pe: int32(done.Sender.PE), ctx: int32(done.Sender.Ctx)})
 }
 
-func (s *System) handleRecvDone(e *event) {
-	c, err := s.kern.Context(e.ctx)
+func (s *System) handleRecvDone(e event) {
+	c, err := s.kern.Context(int(e.ctx))
 	if err != nil {
 		s.fail(err)
 		return
@@ -450,11 +514,11 @@ func (s *System) handleRecvDone(e *event) {
 		s.fail(err)
 		return
 	}
-	s.dispatch(e.pe)
+	s.dispatch(int(e.pe))
 }
 
-func (s *System) handleSendDone(e *event) {
-	c, err := s.kern.Context(e.ctx)
+func (s *System) handleSendDone(e event) {
+	c, err := s.kern.Context(int(e.ctx))
 	if err != nil {
 		s.fail(err)
 		return
@@ -463,11 +527,11 @@ func (s *System) handleSendDone(e *event) {
 		s.fail(err)
 		return
 	}
-	s.dispatch(e.pe)
+	s.dispatch(int(e.pe))
 }
 
-func (s *System) handleWake(e *event) {
-	c, err := s.kern.Context(e.ctx)
+func (s *System) handleWake(e event) {
+	c, err := s.kern.Context(int(e.ctx))
 	if err != nil {
 		s.fail(err)
 		return
@@ -481,11 +545,11 @@ func (s *System) handleWake(e *event) {
 		s.fail(err)
 		return
 	}
-	s.dispatch(e.pe)
+	s.dispatch(int(e.pe))
 }
 
-func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
-	switch a.Code {
+func (s *System) handleTrap(peID int, c *pe.Context, code, arg int32, t int64) {
+	switch code {
 	case isa.KExit:
 		s.running[peID] = nil
 		if s.lastCtx[peID] == c {
@@ -506,7 +570,7 @@ func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
 		s.scheduleKick(peID, t)
 
 	case isa.KRFork, isa.KIFork:
-		gi := int(a.Arg)
+		gi := int(arg)
 		if gi < 0 || gi >= len(s.prog.Obj.Graphs) {
 			s.fail(fmt.Errorf("sim: context %d forks unknown graph %d", c.ID, gi))
 			return
@@ -514,7 +578,7 @@ func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
 		child, target := s.kern.CreateContext(gi, s.prog.QueueWords(gi), c.ID, peID, t)
 		cin := s.kern.AllocChannel()
 		var cout int32
-		if a.Code == isa.KRFork {
+		if code == isa.KRFork {
 			s.kern.Stats.RForks++
 			cout = s.kern.AllocChannel()
 			if err := s.machines[peID].Complete2(c, cin, cout); err != nil {
@@ -531,7 +595,7 @@ func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
 		}
 		child.SetChannels(cin, cout)
 		done := t + s.p.ForkCycles
-		s.schedule(done, &event{kind: evStep, pe: peID, ctx: c.ID})
+		s.schedule(done, event{kind: evStep, pe: int32(peID), ctx: int32(c.ID)})
 		s.scheduleKick(target, done)
 
 	case isa.KChanNew:
@@ -540,14 +604,14 @@ func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
 			s.fail(err)
 			return
 		}
-		s.schedule(t, &event{kind: evStep, pe: peID, ctx: c.ID})
+		s.schedule(t, event{kind: evStep, pe: int32(peID), ctx: int32(c.ID)})
 
 	case isa.KNow:
 		if err := s.machines[peID].Complete(c, int32(t)); err != nil {
 			s.fail(err)
 			return
 		}
-		s.schedule(t, &event{kind: evStep, pe: peID, ctx: c.ID})
+		s.schedule(t, event{kind: evStep, pe: int32(peID), ctx: int32(c.ID)})
 
 	case isa.KWait:
 		c.Status = pe.BlockedWait
@@ -555,11 +619,11 @@ func (s *System) handleTrap(peID int, c *pe.Context, a pe.TrapAction, t int64) {
 		if s.rec != nil {
 			s.rec.EndRun(peID, c.ID, t, trace.EndBlockedWait)
 		}
-		wake := max(t, int64(a.Arg))
-		s.schedule(wake, &event{kind: evWake, pe: peID, ctx: c.ID})
+		wake := max(t, int64(arg))
+		s.schedule(wake, event{kind: evWake, pe: int32(peID), ctx: int32(c.ID)})
 		s.scheduleKick(peID, t)
 
 	default:
-		s.fail(fmt.Errorf("sim: context %d: unknown kernel entry point %d", c.ID, a.Code))
+		s.fail(fmt.Errorf("sim: context %d: unknown kernel entry point %d", c.ID, code))
 	}
 }
