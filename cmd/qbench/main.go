@@ -19,6 +19,13 @@
 //	    artifact. Host time is machine- and load-dependent, so -host is
 //	    report-only and never gates: -baseline is rejected with it.
 //
+//	qbench -profile -out profiles/
+//	    run representative Chapter 6 workloads under the cycle-attribution
+//	    profiler, write each run's attribution and critical path as JSON
+//	    into the directory, and exit 1 if any run's attribution fails to
+//	    sum exactly to PEs × makespan (the profiler's defining invariant —
+//	    a violation means the accounting itself broke, which gates CI).
+//
 // Bench output is read from the named file argument, or stdin when absent.
 // Benchmarks present in the run but not the baseline are reported as new
 // without failing the gate (commit the refreshed file to accept them).
@@ -31,10 +38,16 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/profile"
+	"queuemachine/internal/sim"
+	"queuemachine/internal/workloads"
 )
 
 // Report is the JSON document qbench reads and writes. Cycle counts are
@@ -66,10 +79,19 @@ func main() {
 		outPath      = flag.String("out", "", "write this run's cycle counts as JSON")
 		hostMode     = flag.Bool("host", false,
 			"record the simInstrs/s host-throughput metric (report-only, no gating)")
+		profileMode = flag.Bool("profile", false,
+			"profile representative benchmarks and gate the attribution-sum invariant")
 	)
 	flag.Parse()
 	if *hostMode && *baselinePath != "" {
 		fatal(fmt.Errorf("-host throughput is machine-dependent and report-only; -baseline is not allowed"))
+	}
+	if *profileMode {
+		if *hostMode || *baselinePath != "" {
+			fatal(fmt.Errorf("-profile runs its own simulations; -host and -baseline are not allowed"))
+		}
+		runProfiles(*outPath)
+		return
 	}
 
 	in := io.Reader(os.Stdin)
@@ -271,6 +293,105 @@ func sortedKeys(m map[string]int64) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// profileCases are the representative Chapter 6 benchmarks the -profile
+// gate runs: one per program shape (regular matrix product, butterfly
+// communication, triangular dependence), all at the full 8-element machine
+// where the rendezvous and ring machinery is busiest.
+func profileCases() []struct {
+	name string
+	wl   workloads.Workload
+	pes  int
+} {
+	return []struct {
+		name string
+		wl   workloads.Workload
+		pes  int
+	}{
+		{"fig68-matmul-8", workloads.MatMul(8), 8},
+		{"fig610-fft-6", workloads.FFT(6), 8},
+		{"fig611-cholesky-8", workloads.Cholesky(8), 8},
+	}
+}
+
+// runProfiles simulates the representative benchmarks under the profiler,
+// verifies the attribution-sum invariant, and writes each profile as JSON
+// into outDir (when set). Any invariant violation or failed run exits 1.
+func runProfiles(outDir string) {
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	failed := false
+	for _, c := range profileCases() {
+		art, err := compile.Compile(c.wl.Source, compile.Options{})
+		if err != nil {
+			fatal(fmt.Errorf("%s: compile: %w", c.name, err))
+		}
+		sys, err := sim.New(art.Object, c.pes, sim.DefaultParams())
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", c.name, err))
+		}
+		p := profile.New(c.pes)
+		names := make([]string, len(art.Object.Graphs))
+		for i, g := range art.Object.Graphs {
+			names[i] = g.Name
+		}
+		p.SetGraphNames(names)
+		sys.SetRecorder(p)
+		res, err := sys.Run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: run: %w", c.name, err))
+		}
+		if err := c.wl.Check(art, res.Data); err != nil {
+			fatal(fmt.Errorf("%s: wrong answer: %w", c.name, err))
+		}
+		prof := p.Finalize(res.Cycles)
+
+		var sum int64
+		for _, v := range prof.Causes {
+			sum += v
+		}
+		want := int64(c.pes) * res.Cycles
+		if sum != want {
+			fmt.Fprintf(os.Stderr,
+				"qbench: FAIL %s: attribution sums to %d cycles, want %d PEs × %d = %d\n",
+				c.name, sum, c.pes, res.Cycles, want)
+			failed = true
+		}
+		var pathSum int64
+		for _, v := range prof.CriticalPath.Causes {
+			pathSum += v
+		}
+		if pathSum != res.Cycles {
+			fmt.Fprintf(os.Stderr,
+				"qbench: FAIL %s: critical path sums to %d cycles, want makespan %d\n",
+				c.name, pathSum, res.Cycles)
+			failed = true
+		}
+		fmt.Printf("qbench: %s: %d cycles on %d PEs, execute %.1f%%, critical path %.1f%% compute\n",
+			c.name, res.Cycles, c.pes,
+			100*float64(prof.Causes["execute"])/float64(want),
+			100*float64(prof.CriticalPath.Causes["execute"])/float64(res.Cycles))
+
+		if outDir != "" {
+			blob, err := json.MarshalIndent(prof, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(outDir, c.name+".json")
+			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "qbench: FAIL: attribution invariant violated")
+		os.Exit(1)
+	}
+	fmt.Printf("qbench: %d profiles verified: attribution sums to PEs × makespan\n", len(profileCases()))
 }
 
 func fatal(err error) {

@@ -8,6 +8,7 @@
 //
 //	qmd                          serve on :8344 with defaults
 //	qmd -addr :9000 -workers 8   explicit listen address and pool size
+//	qmd -log-format json         structured request logs as JSON lines
 //
 // Endpoints: POST /compile, POST /run, GET /healthz, GET /statsz,
 // GET /metrics (Prometheus text), and — with -pprof — GET /debug/pprof/*.
@@ -21,7 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,20 +34,32 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8344", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "admission queue depth (0: 4x workers)")
-		cache   = flag.Int("cache", 128, "artifact cache entries")
-		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
-		maxBody = flag.Int64("max-body", 1<<20, "request body limit in bytes")
-		drain   = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
-		pprof   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		addr      = flag.String("addr", ":8344", "listen address")
+		workers   = flag.Int("workers", 0, "worker pool size (0: GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "admission queue depth (0: 4x workers)")
+		cache     = flag.Int("cache", 128, "artifact cache entries")
+		timeout   = flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body limit in bytes")
+		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
+		pprof     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: qmd [flags]")
 		os.Exit(2)
 	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "qmd: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 
 	svc := service.New(service.Config{
 		Workers:        *workers,
@@ -58,29 +71,31 @@ func main() {
 	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           service.AccessLog(logger, svc.Handler()),
 		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(handler, slog.LevelError),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("qmd: serving on %s", *addr)
+	logger.Info("serving", slog.String("addr", *addr))
 
 	select {
 	case err := <-errCh:
-		log.Fatalf("qmd: %v", err)
+		logger.Error("listen", slog.Any("err", err))
+		os.Exit(1)
 	case <-ctx.Done():
 	}
-	log.Printf("qmd: draining (up to %s)", *drain)
+	logger.Info("draining", slog.Duration("budget", *drain))
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
-		log.Printf("qmd: http shutdown: %v", err)
+		logger.Error("http shutdown", slog.Any("err", err))
 	}
 	if err := svc.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("qmd: drain: %v", err)
+		logger.Error("drain", slog.Any("err", err))
 	}
-	log.Printf("qmd: bye")
+	logger.Info("bye")
 }

@@ -8,6 +8,10 @@
 //	qsim -pes 4 -json prog.qobj           emit statistics as JSON (the qmd wire format)
 //	qsim -pes 4 -trace run.json prog.qobj write a Chrome trace-event file
 //	qsim -pes 4 -timeline 1000 prog.qobj  sample machine gauges every 1000 cycles
+//	qsim -pes 4 -profile run.pb.gz prog.qobj
+//	                                      attribute every cycle to a cause, print
+//	                                      the critical-path summary, and write a
+//	                                      pprof profile (load with go tool pprof)
 //
 // Exit status: 0 on success, 1 on error, 2 on usage, and 3 when the
 // simulated program deadlocks (the kernel's context snapshot goes to
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"queuemachine/internal/isa"
+	"queuemachine/internal/profile"
 	"queuemachine/internal/service"
 	"queuemachine/internal/sim"
 	"queuemachine/internal/trace"
@@ -35,10 +40,11 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit run statistics as JSON")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing)")
 		timeline = flag.Int64("timeline", 0, "sample a machine time series every N cycles (0: off)")
+		profOut  = flag.String("profile", "", "write a pprof cycle-attribution profile (load with go tool pprof)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qsim [-pes N] [-dump] [-json] [-trace out.json] [-timeline N] program.qobj")
+		fmt.Fprintln(os.Stderr, "usage: qsim [-pes N] [-dump] [-json] [-trace out.json] [-timeline N] [-profile out.pb.gz] program.qobj")
 		os.Exit(2)
 	}
 	blob, err := os.ReadFile(flag.Arg(0))
@@ -55,9 +61,10 @@ func main() {
 		fatal(err)
 	}
 	var (
-		chrome *trace.Chrome
-		series *trace.Timeline
-		recs   []trace.Recorder
+		chrome   *trace.Chrome
+		series   *trace.Timeline
+		profiler *profile.Profiler
+		recs     []trace.Recorder
 	)
 	if *traceOut != "" {
 		chrome = trace.NewChrome(*timeline)
@@ -66,6 +73,15 @@ func main() {
 	if *timeline > 0 {
 		series = trace.NewTimeline(*timeline)
 		recs = append(recs, series)
+	}
+	if *profOut != "" {
+		profiler = profile.New(*pes)
+		names := make([]string, len(obj.Graphs))
+		for i, g := range obj.Graphs {
+			names[i] = g.Name
+		}
+		profiler.SetGraphNames(names)
+		recs = append(recs, profiler)
 	}
 	sys.SetRecorder(trace.Multi(recs...))
 
@@ -93,11 +109,27 @@ func main() {
 		}
 	}
 
+	var prof *profile.Profile
+	if profiler != nil {
+		prof = profiler.Finalize(res.Cycles)
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := prof.WritePprof(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
 	stats := service.NewRunStats(res, *dump)
 	stats.SetHostTime(hostTime)
 	if series != nil {
 		stats.Timeline = series.Series()
 	}
+	stats.Profile = prof
 	if *jsonOut {
 		// The same document the qmd service serves from /run.
 		out, err := json.MarshalIndent(stats, "", "  ")
@@ -124,6 +156,10 @@ func main() {
 		stats.HostSeconds, stats.HostMIPS)
 	if series != nil {
 		printTimeline(series.Series())
+	}
+	if prof != nil {
+		prof.WriteSummary(os.Stdout)
+		fmt.Printf("profile written to %s (go tool pprof %s)\n", *profOut, *profOut)
 	}
 	if *dump {
 		fmt.Printf("data segment (%d words):\n", len(res.Data))

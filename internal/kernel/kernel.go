@@ -236,8 +236,8 @@ func (k *Kernel) Snapshot() []string {
 		if c == nil {
 			continue
 		}
-		out = append(out, fmt.Sprintf("context %d: graph %d pc %d %v on pe %d (parent %d)",
-			id, c.Graph, c.PC, c.Status, k.home[id], c.Parent))
+		out = append(out, fmt.Sprintf("context %d: graph %d pc %d %v on pe %d (parent %d, cin %d, cout %d)",
+			id, c.Graph, c.PC, c.Status, k.home[id], c.Parent, c.In(), c.Out()))
 	}
 	return out
 }

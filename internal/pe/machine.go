@@ -246,9 +246,13 @@ func (m *Machine) ExecOne(c *Context, now int64) (Outcome, error) {
 		return m.execOne(c)
 	}
 	graph, pc := c.Graph, c.PC
+	wm := m.Stats.WindowMisses
 	out, err := m.execOne(c)
 	if err == nil {
-		m.rec.Instr(m.PEID, c.ID, graph, pc, m.Prog.graphs[graph][pc].info.Mnemonic, now, out.Cycles)
+		// Presence-bit stall: window misses fetched from the memory page
+		// each cost Params.Mem beyond the base instruction cycles (§5.2).
+		stall := int(m.Stats.WindowMisses-wm) * m.Params.Mem
+		m.rec.Instr(m.PEID, c.ID, graph, pc, m.Prog.graphs[graph][pc].info.Mnemonic, now, out.Cycles, stall)
 	}
 	return out, err
 }

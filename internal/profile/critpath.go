@@ -1,0 +1,275 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CriticalPath is the longest happens-before chain through the run: the
+// dependence chain that ends at the final context exit and, walked
+// backward, explains every cycle of the makespan. Segments tile
+// [0, Cycles] contiguously, so Causes' values sum exactly to Cycles.
+type CriticalPath struct {
+	Cycles int64            `json:"cycles"`
+	Causes map[string]int64 `json:"causes"`
+	// Segments is the chain in time order (earliest first), with
+	// consecutive same-cause segments of one context merged.
+	Segments []PathSegment `json:"segments,omitempty"`
+	// SegmentsTruncated reports that the chain was longer than the
+	// serialized limit and only the longest-cycle entries were kept.
+	SegmentsTruncated bool `json:"segments_truncated,omitempty"`
+	// Incomplete reports that the walk could not explain the whole
+	// makespan (the unexplained remainder is charged to idle).
+	Incomplete bool `json:"incomplete,omitempty"`
+}
+
+// PathSegment is one hop of the critical path.
+type PathSegment struct {
+	Context int    `json:"ctx"`
+	Node    string `json:"node,omitempty"`
+	Cause   string `json:"cause"`
+	From    int64  `json:"from"`
+	To      int64  `json:"to"`
+	Cycles  int64  `json:"cycles"`
+}
+
+// maxPathSegments bounds the serialized chain; rendezvous-heavy runs walk
+// through tens of thousands of hops and the per-cause totals carry the
+// story.
+const maxPathSegments = 1024
+
+// maxPathSteps is a runaway backstop on the backward walk. Every
+// rendezvous hop moves the frontier back by at least the message
+// processor's service cost, so real runs finish in O(makespan) steps.
+const maxPathSteps = 8 << 20
+
+// pathWalker walks the happens-before graph backward from the final exit.
+// Its single invariant: every emission spans [lo, cur] with lo clamped
+// into [0, cur], after which cur = lo — so the emitted segments tile
+// [0, makespan] exactly no matter how the walk jumps between contexts.
+type pathWalker struct {
+	p    *Profiler
+	cur  int64
+	segs []PathSegment
+}
+
+func (w *pathWalker) emit(ctx int, node string, cause Cause, lo int64) {
+	lo = max(0, min(lo, w.cur))
+	if w.cur > lo {
+		w.segs = append(w.segs, PathSegment{
+			Context: ctx, Node: node, Cause: cause.String(),
+			From: lo, To: w.cur, Cycles: w.cur - lo,
+		})
+	}
+	w.cur = lo
+}
+
+// segmentAt returns the latest of the context's segments whose dispatch
+// began strictly before t, or nil. The bound is strict so that after the
+// walk consumes a segment (leaving t at its switchStart) the next lookup
+// cannot return the same segment again.
+func segmentAt(cr *ctxRec, t int64) *segment {
+	segs := cr.segments
+	lo, hi := 0, len(segs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if segs[mid].switchStart < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	return &segs[lo-1]
+}
+
+// readyAt returns the latest ready record at or before t, or nil.
+func readyAt(cr *ctxRec, t int64) *ready {
+	rs := cr.readies
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs[mid].at <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return nil
+	}
+	return &rs[lo-1]
+}
+
+func (p *Profiler) nodeLabel(s *segment) string {
+	if s.firstPC < 0 {
+		return ""
+	}
+	if s.firstGraph == s.lastGraph {
+		if s.firstPC == s.lastPC {
+			return fmt.Sprintf("%s@%d", p.graphName(s.firstGraph), s.firstPC)
+		}
+		return fmt.Sprintf("%s@%d-%d", p.graphName(s.firstGraph), s.firstPC, s.lastPC)
+	}
+	return fmt.Sprintf("%s@%d-%s@%d", p.graphName(s.firstGraph), s.firstPC, p.graphName(s.lastGraph), s.lastPC)
+}
+
+// criticalPath walks backward from the context whose exit set the
+// makespan, threading three kinds of happens-before edges: program order
+// within a context (its execution segments and switch costs), fork
+// creation edges (child ready ← parent's fork trap), and channel
+// rendezvous pairings (woken party ← ring delivery ← message-processor
+// service ← issuing party's blocking instruction).
+func (p *Profiler) criticalPath(makespan int64) *CriticalPath {
+	cp := &CriticalPath{Cycles: makespan, Causes: map[string]int64{}}
+	if makespan <= 0 {
+		return cp
+	}
+	w := &pathWalker{p: p, cur: makespan}
+	ctx := p.lastExit
+	t := p.lastExitAt
+	if t < makespan {
+		// Synthetic drives can finalize past the last exit; a real run's
+		// makespan is the last exit trap's time.
+		w.emit(-1, "", CauseIdle, t)
+	}
+	// gapCause classifies the gap between a segment's recorded end and
+	// the time the walk enters it: fork/trap service inside program
+	// order, ring+queueing delay after a rendezvous jump, sleep after a
+	// timer wake.
+	gapCause := CauseFork
+
+	steps := 0
+walk:
+	for w.cur > 0 && ctx >= 0 && ctx < len(p.ctxs) {
+		if steps++; steps > maxPathSteps {
+			break
+		}
+		cr := p.ctxs[ctx]
+		if cr == nil {
+			break
+		}
+		seg := segmentAt(cr, t)
+		if seg == nil {
+			break
+		}
+		end := seg.end
+		if end < 0 || end > t {
+			end = t // segment open at walk entry, or entered mid-segment
+		}
+		if t > end {
+			w.emit(ctx, "", gapCause, end)
+		}
+		gapCause = CauseFork
+		node := p.nodeLabel(seg)
+		// The segment's cycles split into fork/trap service, queue
+		// stalls, and plain execution; the exact interleaving is gone,
+		// but the amounts are exact.
+		span := min(w.cur, end) - seg.start
+		if span < 0 {
+			span = 0
+		}
+		fork := min(seg.forkCycles, span)
+		stall := min(seg.stallCycles, span-fork)
+		w.emit(ctx, node, CauseFork, w.cur-fork)
+		w.emit(ctx, node, CauseQueueStall, w.cur-stall)
+		w.emit(ctx, node, CauseExecute, seg.start)
+		w.emit(ctx, "", CauseSwitch, seg.switchStart)
+		t = seg.switchStart
+
+		r := readyAt(cr, t)
+		if r == nil {
+			// Before the first recorded ready: only the initial context,
+			// dispatched at time zero.
+			w.emit(ctx, "", CauseDispatchWait, 0)
+			break
+		}
+		w.emit(ctx, "", CauseDispatchWait, r.at)
+		t = r.at
+		switch r.kind {
+		case readyCreated:
+			if cr.parent < 0 {
+				w.emit(ctx, "", CauseDispatchWait, 0)
+				break walk
+			}
+			// Fork edge: the child became ready the instant the parent's
+			// fork trap completed; continue inside the parent.
+			ctx = cr.parent
+		case readyRendezvous:
+			// Rendezvous edge: ring delivery back from the channel's home
+			// message processor, the MP's service, then the ring hop and
+			// queueing of the issuing party's request.
+			w.emit(ctx, "", CauseRingTransfer, r.mpEnd)
+			mpCause := CauseMPService
+			if !r.mpHit {
+				mpCause = CauseMPMiss
+			}
+			w.emit(ctx, fmt.Sprintf("ch %d", r.ch), mpCause, r.mpStart)
+			t = r.mpStart
+			ctx = r.issuer
+			gapCause = CauseRingTransfer
+		case readyTimer:
+			gapCause = CauseTimerWait
+		}
+	}
+	if w.cur > 0 {
+		// Walk exhausted its records (or tripped the backstop) above
+		// cycle zero: account the remainder so the tiling invariant
+		// holds, and say so.
+		cp.Incomplete = true
+		w.emit(-1, "", CauseIdle, 0)
+	}
+
+	// The walk ran backward; flip to time order and merge adjacent hops
+	// of the same context and cause.
+	segs := w.segs
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	merged := segs[:0]
+	for _, s := range segs {
+		if n := len(merged); n > 0 {
+			prev := &merged[n-1]
+			if prev.Context == s.Context && prev.Cause == s.Cause && prev.To == s.From {
+				prev.To = s.To
+				prev.Cycles += s.Cycles
+				if prev.Node == "" {
+					prev.Node = s.Node
+				}
+				continue
+			}
+		}
+		merged = append(merged, s)
+	}
+	for _, s := range merged {
+		cp.Causes[s.Cause] += s.Cycles
+	}
+	if len(merged) > maxPathSegments {
+		cp.SegmentsTruncated = true
+		topPathSegments(merged, maxPathSegments)
+		merged = merged[:maxPathSegments]
+	}
+	cp.Segments = merged
+	return cp
+}
+
+// topPathSegments selects the n longest segments to the front, preserving
+// time order among the survivors.
+func topPathSegments(segs []PathSegment, n int) {
+	type ranked struct {
+		seg PathSegment
+		idx int
+	}
+	rs := make([]ranked, len(segs))
+	for i, s := range segs {
+		rs[i] = ranked{s, i}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].seg.Cycles > rs[j].seg.Cycles })
+	rs = rs[:n]
+	sort.Slice(rs, func(i, j int) bool { return rs[i].idx < rs[j].idx })
+	for i, r := range rs {
+		segs[i] = r.seg
+	}
+}

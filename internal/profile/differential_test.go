@@ -1,0 +1,165 @@
+package profile
+
+import (
+	"fmt"
+	"testing"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/experiments"
+	"queuemachine/internal/sim"
+	"queuemachine/internal/workloads"
+)
+
+// benchCase is one cell of the Chapter 6 benchmark grid.
+type benchCase struct {
+	name string
+	wl   workloads.Workload
+	opts compile.Options
+	pes  int
+}
+
+// chapter6Grid reproduces the 40 benchmarked simulations: the four
+// workload sweeps of Figures 6.8–6.12 across every machine size, the
+// Figure 6.9 summation comparison, and the Table 6.6 optimization cases.
+func chapter6Grid() []benchCase {
+	var cases []benchCase
+	for _, wl := range []workloads.Workload{
+		workloads.MatMul(8), workloads.FFT(6), workloads.Cholesky(8), workloads.Congruence(8),
+	} {
+		for _, pes := range experiments.PECounts {
+			cases = append(cases, benchCase{
+				name: fmt.Sprintf("%s/pes-%d", wl.Name, pes), wl: wl, pes: pes,
+			})
+		}
+	}
+	for _, wl := range []workloads.Workload{
+		workloads.BinaryRecursiveSum(32), workloads.IterativeSum(32),
+	} {
+		cases = append(cases, benchCase{name: wl.Name, wl: wl, pes: 4})
+	}
+	for _, c := range experiments.OptimizationCases() {
+		cases = append(cases, benchCase{
+			name: "table66/" + c.Name, wl: workloads.MatMul(6), opts: c.Opts, pes: 4,
+		})
+	}
+	return cases
+}
+
+// checkProfileInvariants asserts the attribution identities a finished
+// profile must satisfy by construction.
+func checkProfileInvariants(t *testing.T, name string, res *sim.Result, prof *Profile) {
+	t.Helper()
+	total := int64(res.NumPEs) * res.Cycles
+	if got := sumCauses(prof.Causes); got != total {
+		t.Errorf("%s: attribution total = %d, want %d PEs × %d cycles = %d",
+			name, got, res.NumPEs, res.Cycles, total)
+	}
+	for pe, m := range prof.PerPE {
+		if got := sumCauses(m); got != res.Cycles {
+			t.Errorf("%s: PE %d attribution = %d, want makespan %d", name, pe, got, res.Cycles)
+		}
+	}
+	cp := prof.CriticalPath
+	if cp == nil {
+		t.Fatalf("%s: no critical path", name)
+	}
+	if cp.Incomplete {
+		t.Errorf("%s: critical path incomplete", name)
+	}
+	if got := sumCauses(cp.Causes); got != res.Cycles {
+		t.Errorf("%s: critical path total = %d, want makespan %d", name, got, res.Cycles)
+	}
+	var pathLen int64
+	for _, s := range cp.Segments {
+		if s.To <= s.From || s.Cycles != s.To-s.From {
+			t.Errorf("%s: malformed path segment %+v", name, s)
+		}
+		pathLen += s.Cycles
+	}
+	if !cp.SegmentsTruncated && pathLen != res.Cycles {
+		t.Errorf("%s: path segments cover %d cycles, want %d", name, pathLen, res.Cycles)
+	}
+}
+
+// TestAttributionChapter6 is the differential gate of the acceptance
+// criteria: on every Chapter 6 benchmark, a profiled run is bit-identical
+// to an unprofiled one, and the cycle attribution sums exactly to
+// PEs × makespan (with the critical path tiling the makespan).
+func TestAttributionChapter6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full benchmark grid; run without -short")
+	}
+	compiled := map[string]*compile.Artifact{}
+	for _, c := range chapter6Grid() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			key := compile.Fingerprint(c.wl.Source, c.opts)
+			art := compiled[key]
+			if art == nil {
+				var err error
+				art, err = compile.Compile(c.wl.Source, c.opts)
+				if err != nil {
+					t.Fatalf("Compile: %v", err)
+				}
+				compiled[key] = art
+			}
+
+			plain, err := sim.Run(art.Object, c.pes, sim.DefaultParams())
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+
+			sys, err := sim.New(art.Object, c.pes, sim.DefaultParams())
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			prof := New(c.pes)
+			sys.SetRecorder(prof)
+			res, err := sys.Run()
+			if err != nil {
+				t.Fatalf("profiled Run: %v", err)
+			}
+			if err := c.wl.Check(art, res.Data); err != nil {
+				t.Fatalf("Check: %v", err)
+			}
+			if res.Cycles != plain.Cycles || res.Instructions != plain.Instructions {
+				t.Errorf("profiled run diverged: cycles %d vs %d, instructions %d vs %d",
+					res.Cycles, plain.Cycles, res.Instructions, plain.Instructions)
+			}
+
+			checkProfileInvariants(t, c.name, res, prof.Finalize(res.Cycles))
+		})
+	}
+}
+
+// TestAttributionShort keeps a fast grid cell under -short so the
+// invariants never go completely untested.
+func TestAttributionShort(t *testing.T) {
+	wl := workloads.MatMul(3)
+	art, err := compile.Compile(wl.Source, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pes := range []int{1, 2, 4} {
+		sys, err := sim.New(art.Object, pes, sim.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prof := New(pes)
+		sys.SetRecorder(prof)
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := prof.Finalize(res.Cycles)
+		checkProfileInvariants(t, fmt.Sprintf("matmul-3/pes-%d", pes), res, p)
+		// A parallel run must show execute time and, above one PE,
+		// rendezvous machinery.
+		if p.Causes["execute"] == 0 {
+			t.Errorf("pes-%d: no execute cycles", pes)
+		}
+		if pes > 1 && p.MP["mp-service"] == 0 {
+			t.Errorf("pes-%d: no message-processor service", pes)
+		}
+	}
+}

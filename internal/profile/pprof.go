@@ -1,0 +1,185 @@
+package profile
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// WritePprof serializes the attribution as a gzipped pprof profile
+// (proto3 perftools.profiles.Profile), loadable with `go tool pprof` and
+// flamegraph UIs. One sample type, cycles/cycles. Stacks grow leaf-first:
+// instruction samples are node → graph → cause, so flamegraphs root at the
+// cause taxonomy; non-instruction lanes sample as pe/mp/ring → cause. The
+// sample values total exactly PEs × makespan for the processing-element
+// causes plus the message-processor and ring lanes' own busy time.
+//
+// The encoder is hand-rolled — the profile message needs only varints and
+// length-delimited fields, not a protobuf dependency.
+func (p *Profile) WritePprof(w io.Writer) error {
+	b := newPprofBuilder()
+
+	// Instruction samples, split execute vs queue-stall per static node.
+	for _, n := range p.Nodes {
+		leaf := fmt.Sprintf("%s %s@%d", n.Op, n.Graph, n.PC)
+		if n.Cycles > 0 {
+			b.sample(n.Cycles, leaf, n.Graph, CauseExecute.String())
+		}
+		if n.Stall > 0 {
+			b.sample(n.Stall, leaf, n.Graph, CauseQueueStall.String())
+		}
+	}
+	// Per-PE non-instruction causes (execute and stall are already
+	// accounted by the node samples).
+	for pe, causes := range p.perPE {
+		for c := CauseSwitch; c < numPECauses; c++ {
+			if v := causes[c]; v > 0 {
+				b.sample(v, fmt.Sprintf("pe %d", pe), c.String())
+			}
+		}
+	}
+	// Message-processor and ring lanes.
+	for pe := range p.mpService {
+		if v := p.mpService[pe]; v > 0 {
+			b.sample(v, fmt.Sprintf("mp %d", pe), CauseMPService.String())
+		}
+		if v := p.mpMiss[pe]; v > 0 {
+			b.sample(v, fmt.Sprintf("mp %d", pe), CauseMPMiss.String())
+		}
+	}
+	if v := p.Ring[CauseRingTransfer.String()]; v > 0 {
+		b.sample(v, "ring", CauseRingTransfer.String())
+	}
+	if v := p.Ring[CauseRingWait.String()]; v > 0 {
+		b.sample(v, "ring", CauseRingWait.String())
+	}
+
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(b.finish(p.Cycles)); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// Field numbers of perftools.profiles.Profile and its submessages.
+const (
+	fProfileSampleType    = 1
+	fProfileSample        = 2
+	fProfileLocation      = 4
+	fProfileFunction      = 5
+	fProfileStringTable   = 6
+	fProfileDurationNanos = 10
+	fProfilePeriodType    = 11
+	fProfilePeriod        = 12
+
+	fValueTypeType = 1
+	fValueTypeUnit = 2
+
+	fSampleLocationID = 1
+	fSampleValue      = 2
+
+	fLocationID   = 1
+	fLocationLine = 4
+
+	fLineFunctionID = 1
+
+	fFunctionID   = 1
+	fFunctionName = 2
+)
+
+type pprofBuilder struct {
+	strs    map[string]int64
+	strtab  []string
+	funcs   map[string]uint64 // frame name → function id (== location id)
+	funcBuf []byte
+	locBuf  []byte
+	samples []byte
+}
+
+func newPprofBuilder() *pprofBuilder {
+	b := &pprofBuilder{strs: map[string]int64{"": 0}, strtab: []string{""}, funcs: map[string]uint64{}}
+	return b
+}
+
+func (b *pprofBuilder) str(s string) int64 {
+	if id, ok := b.strs[s]; ok {
+		return id
+	}
+	id := int64(len(b.strtab))
+	b.strs[s] = id
+	b.strtab = append(b.strtab, s)
+	return id
+}
+
+// loc interns a frame name as a function + location pair sharing one id.
+func (b *pprofBuilder) loc(name string) uint64 {
+	if id, ok := b.funcs[name]; ok {
+		return id
+	}
+	id := uint64(len(b.funcs) + 1)
+	b.funcs[name] = id
+
+	var fn []byte
+	fn = appendVarintField(fn, fFunctionID, id)
+	fn = appendVarintField(fn, fFunctionName, uint64(b.str(name)))
+	b.funcBuf = appendBytesField(b.funcBuf, fProfileFunction, fn)
+
+	var line []byte
+	line = appendVarintField(line, fLineFunctionID, id)
+	var lc []byte
+	lc = appendVarintField(lc, fLocationID, id)
+	lc = appendBytesField(lc, fLocationLine, line)
+	b.locBuf = appendBytesField(b.locBuf, fProfileLocation, lc)
+	return id
+}
+
+// sample adds one stack, leaf first.
+func (b *pprofBuilder) sample(value int64, frames ...string) {
+	var s []byte
+	for _, f := range frames {
+		s = appendVarintField(s, fSampleLocationID, b.loc(f))
+	}
+	s = appendVarintField(s, fSampleValue, uint64(value))
+	b.samples = appendBytesField(b.samples, fProfileSample, s)
+}
+
+func (b *pprofBuilder) finish(cycles int64) []byte {
+	cyclesStr := uint64(b.str("cycles"))
+	var vt []byte
+	vt = appendVarintField(vt, fValueTypeType, cyclesStr)
+	vt = appendVarintField(vt, fValueTypeUnit, cyclesStr)
+
+	var out []byte
+	out = appendBytesField(out, fProfileSampleType, vt)
+	out = append(out, b.samples...)
+	out = append(out, b.locBuf...)
+	out = append(out, b.funcBuf...)
+	for _, s := range b.strtab {
+		out = appendBytesField(out, fProfileStringTable, []byte(s))
+	}
+	// One simulated cycle per "nanosecond" of duration: pprof insists on
+	// a time base, and cycles are the only clock the machine has.
+	out = appendVarintField(out, fProfileDurationNanos, uint64(cycles))
+	out = appendBytesField(out, fProfilePeriodType, vt)
+	out = appendVarintField(out, fProfilePeriod, 1)
+	return out
+}
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendVarintField(b []byte, field int, v uint64) []byte {
+	b = appendVarint(b, uint64(field)<<3|0) // wire type 0: varint
+	return appendVarint(b, v)
+}
+
+func appendBytesField(b []byte, field int, payload []byte) []byte {
+	b = appendVarint(b, uint64(field)<<3|2) // wire type 2: length-delimited
+	b = appendVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}

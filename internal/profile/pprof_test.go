@@ -1,0 +1,214 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/sim"
+	"queuemachine/internal/workloads"
+)
+
+// decodedProfile is the subset of perftools.profiles.Profile the test
+// decodes back out of the serialized bytes.
+type decodedProfile struct {
+	strings   []string
+	samples   []decodedSample
+	locations map[uint64]uint64 // location id → function id
+	functions map[uint64]int64  // function id → name string index
+	duration  int64
+}
+
+type decodedSample struct {
+	locs  []uint64
+	value int64
+}
+
+func readVarint(b []byte) (uint64, []byte, bool) {
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, b[i+1:], true
+		}
+	}
+	return 0, nil, false
+}
+
+// fields iterates a protobuf message, calling fn with each field number
+// and its payload (varint value, or bytes for length-delimited fields).
+func fields(t *testing.T, b []byte, fn func(field int, v uint64, payload []byte)) {
+	t.Helper()
+	for len(b) > 0 {
+		key, rest, ok := readVarint(b)
+		if !ok {
+			t.Fatal("truncated field key")
+		}
+		b = rest
+		field, wire := int(key>>3), key&7
+		switch wire {
+		case 0:
+			v, rest, ok := readVarint(b)
+			if !ok {
+				t.Fatal("truncated varint")
+			}
+			b = rest
+			fn(field, v, nil)
+		case 2:
+			n, rest, ok := readVarint(b)
+			if !ok || uint64(len(rest)) < n {
+				t.Fatal("truncated length-delimited field")
+			}
+			fn(field, 0, rest[:n])
+			b = rest[n:]
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+}
+
+func decodePprof(t *testing.T, raw []byte) *decodedProfile {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("profile is not gzipped: %v", err)
+	}
+	msg, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	d := &decodedProfile{locations: map[uint64]uint64{}, functions: map[uint64]int64{}}
+	fields(t, msg, func(field int, v uint64, payload []byte) {
+		switch field {
+		case fProfileStringTable:
+			d.strings = append(d.strings, string(payload))
+		case fProfileSample:
+			var s decodedSample
+			fields(t, payload, func(f int, v uint64, _ []byte) {
+				switch f {
+				case fSampleLocationID:
+					s.locs = append(s.locs, v)
+				case fSampleValue:
+					s.value = int64(v)
+				}
+			})
+			d.samples = append(d.samples, s)
+		case fProfileLocation:
+			var id, fnID uint64
+			fields(t, payload, func(f int, v uint64, line []byte) {
+				switch f {
+				case fLocationID:
+					id = v
+				case fLocationLine:
+					fields(t, line, func(f int, v uint64, _ []byte) {
+						if f == fLineFunctionID {
+							fnID = v
+						}
+					})
+				}
+			})
+			d.locations[id] = fnID
+		case fProfileFunction:
+			var id uint64
+			var name int64
+			fields(t, payload, func(f int, v uint64, _ []byte) {
+				switch f {
+				case fFunctionID:
+					id = v
+				case fFunctionName:
+					name = int64(v)
+				}
+			})
+			d.functions[id] = name
+		case fProfileDurationNanos:
+			d.duration = int64(v)
+		}
+	})
+	return d
+}
+
+// frameNames resolves a sample's location ids to their function names.
+func (d *decodedProfile) frameNames(t *testing.T, s decodedSample) []string {
+	t.Helper()
+	var names []string
+	for _, loc := range s.locs {
+		fnID, ok := d.locations[loc]
+		if !ok {
+			t.Fatalf("sample references unknown location %d", loc)
+		}
+		idx, ok := d.functions[fnID]
+		if !ok {
+			t.Fatalf("location %d references unknown function %d", loc, fnID)
+		}
+		if idx < 0 || idx >= int64(len(d.strings)) {
+			t.Fatalf("function %d name index %d out of string table (%d)", fnID, idx, len(d.strings))
+		}
+		names = append(names, d.strings[idx])
+	}
+	return names
+}
+
+// TestPprofRoundTrip serializes a real run's profile and decodes it with
+// an independent protobuf reader: the string table must resolve, every
+// sample's stack must resolve to named frames, and the sample values must
+// total the PE attribution plus the MP and ring lanes' busy time.
+func TestPprofRoundTrip(t *testing.T) {
+	wl := workloads.MatMul(3)
+	art, err := compile.Compile(wl.Source, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pes = 4
+	sys, err := sim.New(art.Object, pes, sim.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(pes)
+	sys.SetRecorder(p)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := p.Finalize(res.Cycles)
+
+	var buf bytes.Buffer
+	if err := prof.WritePprof(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d := decodePprof(t, buf.Bytes())
+
+	if len(d.strings) == 0 || d.strings[0] != "" {
+		t.Fatalf("string table must start with the empty string, got %q", d.strings[:min(3, len(d.strings))])
+	}
+	if d.duration != res.Cycles {
+		t.Errorf("duration = %d, want makespan %d", d.duration, res.Cycles)
+	}
+
+	var total int64
+	rootCauses := map[string]int64{}
+	for _, s := range d.samples {
+		names := d.frameNames(t, s)
+		if len(names) == 0 {
+			t.Fatal("sample with empty stack")
+		}
+		total += s.value
+		rootCauses[names[len(names)-1]] += s.value
+	}
+	want := sumCauses(prof.Causes) + sumCauses(prof.MP) + sumCauses(prof.Ring)
+	if total != want {
+		t.Errorf("sample values total %d, want %d (PE %d + MP %d + ring %d)",
+			total, want, sumCauses(prof.Causes), sumCauses(prof.MP), sumCauses(prof.Ring))
+	}
+	// Stacks root at the cause taxonomy: the root-frame totals must match
+	// the profile's cause map exactly.
+	for cause, v := range prof.Causes {
+		if rootCauses[cause] != v {
+			t.Errorf("root frames for %q total %d, want %d", cause, rootCauses[cause], v)
+		}
+	}
+	if rootCauses["execute"] == 0 {
+		t.Error("no execute samples")
+	}
+}

@@ -1,0 +1,99 @@
+package profile
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// reportCauseOrder fixes the display order of the taxonomy.
+var reportCauseOrder = []Cause{
+	CauseExecute, CauseQueueStall, CauseSwitch, CauseFork,
+	CauseSendWait, CauseRecvWait, CauseTimerWait, CauseIdle,
+	CauseDispatchWait, CauseMPService, CauseMPMiss,
+	CauseRingTransfer, CauseRingWait,
+}
+
+func writeCauseTable(w io.Writer, causes map[string]int64, total int64) {
+	seen := map[string]bool{}
+	emit := func(name string) {
+		v, ok := causes[name]
+		if !ok || seen[name] {
+			return
+		}
+		seen[name] = true
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(v) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-15s %12d  %5.1f%%\n", name, v, pct)
+	}
+	for _, c := range reportCauseOrder {
+		emit(c.String())
+	}
+	// Anything not in the canonical order (future causes), alphabetically.
+	var rest []string
+	for name := range causes {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		emit(name)
+	}
+}
+
+// WriteSummary prints the human-readable attribution report: the PE cause
+// partition, message-processor and ring totals, the busiest static graph
+// nodes, and the critical path's cause shares with its longest hops.
+func (p *Profile) WriteSummary(w io.Writer) {
+	total := int64(p.PEs) * p.Cycles
+	fmt.Fprintf(w, "cycle attribution (%d PEs × %d cycles = %d PE-cycles):\n", p.PEs, p.Cycles, total)
+	writeCauseTable(w, p.Causes, total)
+
+	if len(p.MP) > 0 {
+		fmt.Fprintf(w, "message processors:\n")
+		writeCauseTable(w, p.MP, total)
+	}
+	if len(p.Ring) > 0 {
+		fmt.Fprintf(w, "ring interconnect:\n")
+		writeCauseTable(w, p.Ring, total)
+	}
+
+	if len(p.Nodes) > 0 {
+		fmt.Fprintf(w, "hottest graph nodes:\n")
+		fmt.Fprintf(w, "  %12s %8s %8s  %s\n", "cycles", "stall", "count", "node")
+		for i, n := range p.Nodes {
+			if i == 10 {
+				fmt.Fprintf(w, "  … %d more\n", len(p.Nodes)-i)
+				break
+			}
+			fmt.Fprintf(w, "  %12d %8d %8d  %s %s@%d\n", n.Cycles, n.Stall, n.Count, n.Op, n.Graph, n.PC)
+		}
+	}
+
+	if cp := p.CriticalPath; cp != nil && cp.Cycles > 0 {
+		fmt.Fprintf(w, "critical path (%d cycles", cp.Cycles)
+		if cp.Incomplete {
+			fmt.Fprintf(w, ", incomplete")
+		}
+		fmt.Fprintf(w, "):\n")
+		writeCauseTable(w, cp.Causes, cp.Cycles)
+		if len(cp.Segments) > 0 {
+			segs := append([]PathSegment(nil), cp.Segments...)
+			sort.Slice(segs, func(i, j int) bool { return segs[i].Cycles > segs[j].Cycles })
+			if len(segs) > 10 {
+				segs = segs[:10]
+			}
+			fmt.Fprintf(w, "longest path segments:\n")
+			for _, s := range segs {
+				node := s.Node
+				if node != "" {
+					node = "  " + node
+				}
+				fmt.Fprintf(w, "  [%d..%d] ctx %d %s (%d cycles)%s\n", s.From, s.To, s.Context, s.Cause, s.Cycles, node)
+			}
+		}
+	}
+}

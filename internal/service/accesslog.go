@@ -1,0 +1,85 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// cacheHeader is the response header the compile and run handlers set to
+// "hit" or "miss" when the artifact cache took part in the request; the
+// access-log middleware lifts it into the structured log line.
+const cacheHeader = "X-Qmd-Cache"
+
+// requestIDHeader carries the server-assigned request id back to the
+// client so a log line can be found from a response.
+const requestIDHeader = "X-Request-Id"
+
+var nextRequestID atomic.Uint64
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// AccessLog wraps a handler with structured request logging: one line per
+// request with the request id, route, status, duration, and — when the
+// artifact cache was consulted — whether it hit.
+func AccessLog(l *slog.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := nextRequestID.Add(1)
+		w.Header().Set(requestIDHeader, formatRequestID(id))
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []slog.Attr{
+			slog.Uint64("id", id),
+			slog.String("route", r.Method+" "+r.URL.Path),
+			slog.Int("status", status),
+			slog.Duration("duration", time.Since(start)),
+		}
+		if cache := w.Header().Get(cacheHeader); cache != "" {
+			attrs = append(attrs, slog.String("cache", cache))
+		}
+		l.LogAttrs(r.Context(), levelFor(status), "request", attrs...)
+	})
+}
+
+func formatRequestID(id uint64) string {
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	for i := range b {
+		b[15-i] = hex[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+func levelFor(status int) slog.Level {
+	switch {
+	case status >= 500:
+		return slog.LevelError
+	case status >= 400:
+		return slog.LevelWarn
+	default:
+		return slog.LevelInfo
+	}
+}

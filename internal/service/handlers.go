@@ -11,6 +11,7 @@ import (
 
 	"queuemachine/internal/compile"
 	"queuemachine/internal/isa"
+	"queuemachine/internal/profile"
 	"queuemachine/internal/sim"
 )
 
@@ -57,6 +58,11 @@ type runRequest struct {
 	Params    json.RawMessage `json:"params,omitempty"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
 	DumpData  bool            `json:"dump_data,omitempty"`
+	// Profile attaches a cycle-attribution profile and critical path to the
+	// run's stats. Profiling observes without altering timing — cycle
+	// counts are identical either way — but costs host time recording the
+	// event stream, so it is opt-in.
+	Profile bool `json:"profile,omitempty"`
 }
 
 type runResponse struct {
@@ -182,7 +188,17 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.error(w, err)
 		return
 	}
+	if cr, ok := v.(*compileResponse); ok {
+		w.Header().Set(cacheHeader, hitMiss(cr.Cached))
+	}
 	writeJSON(w, http.StatusOK, v)
+}
+
+func hitMiss(cached bool) string {
+	if cached {
+		return "hit"
+	}
+	return "miss"
 }
 
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -233,8 +249,26 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		// The response only carries the data segment when the client asked
 		// for it, so skip the per-run O(DataWords) copy otherwise.
 		params.KeepData = req.DumpData
+		var profiler *profile.Profiler
 		simStart := time.Now()
-		res, err := sim.RunContext(ctx, obj, pes, params)
+		var res *sim.Result
+		var err error
+		if req.Profile {
+			var sys *sim.System
+			sys, err = sim.New(obj, pes, params)
+			if err == nil {
+				profiler = profile.New(pes)
+				names := make([]string, len(obj.Graphs))
+				for i, g := range obj.Graphs {
+					names[i] = g.Name
+				}
+				profiler.SetGraphNames(names)
+				sys.SetRecorder(profiler)
+				res, err = sys.RunContext(ctx)
+			}
+		} else {
+			res, err = sim.RunContext(ctx, obj, pes, params)
+		}
 		simTime := time.Since(simStart)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -249,11 +283,19 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.simNanos.Add(int64(simTime))
 		resp.Stats = NewRunStats(res, req.DumpData)
 		resp.Stats.SetHostTime(simTime)
+		if profiler != nil {
+			resp.Stats.Profile = profiler.Finalize(res.Cycles)
+			s.recordCauses(resp.Stats.Profile)
+		}
 		return resp, nil
 	})
 	if err != nil {
 		s.error(w, err)
 		return
+	}
+	// The cache only took part when the request came in as source.
+	if rr, ok := v.(*runResponse); ok && rr.Fingerprint != "" {
+		w.Header().Set(cacheHeader, hitMiss(rr.Cached))
 	}
 	writeJSON(w, http.StatusOK, v)
 }

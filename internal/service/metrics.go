@@ -64,8 +64,20 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"", st.Rejected)
 	counter("qmd_errors_total", "Requests answered with a non-shed error status.",
 		"", st.Errors)
-	counter("qmd_sim_cycles_total", "Simulated cycles served by successful runs.",
+	counter("qmd_sim_cycles_total", "Simulated cycles served by successful runs; "+
+		"cause-labelled series attribute profiled runs' PE-cycles (and the "+
+		"message-processor and ring lanes' busy cycles) by cause.",
 		"", st.CyclesServed)
+	if len(st.CycleCauses) > 0 {
+		causes := make([]string, 0, len(st.CycleCauses))
+		for cause := range st.CycleCauses {
+			causes = append(causes, cause)
+		}
+		sort.Strings(causes)
+		for _, cause := range causes {
+			fmt.Fprintf(w, "qmd_sim_cycles_total{cause=%q} %d\n", cause, st.CycleCauses[cause])
+		}
+	}
 	counter("qmd_sim_instructions_total", "Simulated instructions served by successful runs.",
 		"", st.InstructionsServed)
 	counter("qmd_cache_hits_total", "Artifact cache hits.", "", st.Cache.Hits)

@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,6 +106,12 @@ type Service struct {
 	compiles, runs, rejected, fails atomic.Int64
 	cyclesServed, instrsServed      atomic.Int64
 	simNanos                        atomic.Int64 // wall-clock ns spent inside sim.RunContext
+
+	// causeCycles accumulates the cycle attribution of profiled runs,
+	// keyed by cause name. Profiled runs are the rare case, so a mutex
+	// beats pre-sizing an atomic slot per cause.
+	causeMu     sync.Mutex
+	causeCycles map[string]int64
 }
 
 // New builds a service; it is ready to serve as soon as its Handler is

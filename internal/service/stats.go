@@ -3,6 +3,7 @@ package service
 import (
 	"time"
 
+	"queuemachine/internal/profile"
 	"queuemachine/internal/sim"
 	"queuemachine/internal/trace"
 )
@@ -44,6 +45,9 @@ type RunStats struct {
 	// Timeline is the cycle-sampled time series, present only when the run
 	// was collected with one (qsim -timeline).
 	Timeline *trace.Series `json:"timeline,omitempty"`
+	// Profile is the cycle-attribution account and critical path, present
+	// only when the run was profiled (qsim -profile, /run profile=true).
+	Profile *profile.Profile `json:"profile,omitempty"`
 }
 
 // SetHostTime records the run's wall-clock duration and derives the
@@ -107,6 +111,12 @@ type ServiceStats struct {
 	SimSeconds float64    `json:"sim_seconds"`
 	HostMIPS   float64    `json:"host_mips"`
 	Cache      CacheStats `json:"cache"`
+	// CycleCauses totals the cycle attribution of every profiled run
+	// (profile=true), keyed by cause. Processing-element causes are
+	// PE-cycles (they sum to PEs × makespan per run); message-processor and
+	// ring causes are those lanes' busy cycles. Empty until a profiled run
+	// completes.
+	CycleCauses map[string]int64 `json:"cycle_causes,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -133,5 +143,34 @@ func (s *Service) Stats() ServiceStats {
 		SimSeconds:         simSecs,
 		HostMIPS:           mips,
 		Cache:              s.cache.stats(),
+		CycleCauses:        s.causeSnapshot(),
 	}
+}
+
+// recordCauses folds one profiled run's attribution into the cumulative
+// per-cause totals /statsz and /metrics expose.
+func (s *Service) recordCauses(p *profile.Profile) {
+	s.causeMu.Lock()
+	defer s.causeMu.Unlock()
+	if s.causeCycles == nil {
+		s.causeCycles = make(map[string]int64)
+	}
+	for _, m := range []map[string]int64{p.Causes, p.MP, p.Ring} {
+		for cause, v := range m {
+			s.causeCycles[cause] += v
+		}
+	}
+}
+
+func (s *Service) causeSnapshot() map[string]int64 {
+	s.causeMu.Lock()
+	defer s.causeMu.Unlock()
+	if len(s.causeCycles) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.causeCycles))
+	for k, v := range s.causeCycles {
+		out[k] = v
+	}
+	return out
 }

@@ -35,8 +35,8 @@ func (l *logRecorder) EndRun(pe, ctx int, at int64, reason trace.EndReason) {
 	fmt.Fprintf(&l.b, "end %d %d %d %v\n", pe, ctx, at, reason)
 }
 
-func (l *logRecorder) Instr(pe, ctx, graph, pc int, op string, at int64, cycles int) {
-	fmt.Fprintf(&l.b, "instr %d %d %d %d %s %d %d\n", pe, ctx, graph, pc, op, at, cycles)
+func (l *logRecorder) Instr(pe, ctx, graph, pc int, op string, at int64, cycles, stall int) {
+	fmt.Fprintf(&l.b, "instr %d %d %d %d %s %d %d %d\n", pe, ctx, graph, pc, op, at, cycles, stall)
 }
 
 func (l *logRecorder) ContextCreated(ctx, parent, pe int, at int64) {
@@ -51,8 +51,8 @@ func (l *logRecorder) ContextExited(ctx, pe int, at int64) {
 	fmt.Fprintf(&l.b, "exited %d %d %d\n", ctx, pe, at)
 }
 
-func (l *logRecorder) MsgOp(pe int, ch int32, op trace.ChanOp, start, end int64, hit, completed bool) {
-	fmt.Fprintf(&l.b, "msgop %d %d %v %d %d %v %v\n", pe, ch, op, start, end, hit, completed)
+func (l *logRecorder) MsgOp(pe int, ch int32, op trace.ChanOp, start, end int64, hit, completed bool, sendCtx, recvCtx int) {
+	fmt.Fprintf(&l.b, "msgop %d %d %v %d %d %v %v %d %d\n", pe, ch, op, start, end, hit, completed, sendCtx, recvCtx)
 }
 
 func (l *logRecorder) RingTransfer(from, to int, start, end, wait int64) {

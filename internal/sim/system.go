@@ -241,7 +241,13 @@ func (s *System) RunContext(ctx context.Context) (*Result, error) {
 		return nil, &DeadlockError{Cycle: s.now, Live: s.kern.Live(), Snapshot: s.kern.Snapshot()}
 	}
 	if s.sampleEvery > 0 {
-		// Close the final (possibly short) bucket at the end of the run.
+		// Emit any whole buckets the final events skipped over (the exit
+		// trap can carry time across several boundaries at once), then
+		// close the final, possibly short, bucket at the end of the run.
+		for s.nextSample < s.endTime {
+			s.emitSample(s.nextSample)
+			s.nextSample += s.sampleEvery
+		}
 		s.emitSample(s.endTime)
 	}
 	res := &Result{
@@ -481,7 +487,11 @@ func (s *System) handleChanReq(e event) {
 		if e.op == opRecv {
 			op = trace.ChanRecv
 		}
-		s.rec.MsgOp(home, e.ch, op, start, finish, !missed, done != nil)
+		sctx, rctx := -1, -1
+		if done != nil {
+			sctx, rctx = done.Sender.Ctx, done.Receiver.Ctx
+		}
+		s.rec.MsgOp(home, e.ch, op, start, finish, !missed, done != nil, sctx, rctx)
 	}
 	if done == nil {
 		return // party parked in the cache until its partner arrives

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -44,12 +46,12 @@ func (c *captureRecorder) EndRun(pe, ctx int, at int64, _ trace.EndReason) {
 	c.runs = append(c.runs, runEvent{pe: pe, ctx: ctx, at: at})
 }
 
-func (c *captureRecorder) Instr(_, _, _, _ int, _ string, _ int64, _ int) { c.instrs++ }
+func (c *captureRecorder) Instr(_, _, _, _ int, _ string, _ int64, _, _ int) { c.instrs++ }
 
 func (c *captureRecorder) ContextCreated(_, _, _ int, _ int64) { c.creates++ }
 func (c *captureRecorder) ContextExited(_, _ int, _ int64)     { c.exits++ }
 
-func (c *captureRecorder) MsgOp(_ int, _ int32, _ trace.ChanOp, start, end int64, _, completed bool) {
+func (c *captureRecorder) MsgOp(_ int, _ int32, _ trace.ChanOp, start, end int64, _, completed bool, _, _ int) {
 	c.msgOps++
 	if completed {
 		c.rendezvous++
@@ -221,6 +223,66 @@ func TestChromeTraceEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTimelineFinalPartialBucket is the regression test for the timeline's
+// final-bucket handling: a run whose length is not a multiple of the bucket
+// size must close with one correctly scaled partial bucket, and an exit
+// trap carrying time across several boundaries must still produce one
+// bucket per boundary rather than a single over-wide one.
+func TestTimelineFinalPartialBucket(t *testing.T) {
+	src := fanOut(4, 10)
+	cycles := run(t, src, 4).Cycles
+
+	// Pick a bucket size that does not divide the run length so the final
+	// bucket is genuinely partial.
+	every := int64(64)
+	for cycles%every == 0 {
+		every++
+	}
+	tl := trace.NewTimeline(every)
+	res := runTraced(t, src, 4, tl)
+	series := tl.Series()
+	if series.BucketCycles != every {
+		t.Fatalf("BucketCycles = %d, want %d", series.BucketCycles, every)
+	}
+	buckets := series.Buckets
+	if len(buckets) == 0 {
+		t.Fatal("no buckets")
+	}
+
+	last := buckets[len(buckets)-1]
+	if last.EndCycle != res.Cycles {
+		t.Errorf("last bucket ends at %d, run ended at %d", last.EndCycle, res.Cycles)
+	}
+	wantLast := res.Cycles % every
+	if got := last.EndCycle - buckets[len(buckets)-2].EndCycle; got != wantLast {
+		t.Errorf("final partial bucket spans %d cycles, want %d", got, wantLast)
+	}
+	var instrs int64
+	prevEnd := int64(0)
+	for i, b := range buckets {
+		width := b.EndCycle - prevEnd
+		if i < len(buckets)-1 && width != every {
+			t.Errorf("bucket %d spans %d cycles, want %d", i, width, every)
+		}
+		if width <= 0 || width > every {
+			t.Errorf("bucket %d spans %d cycles, want (0, %d]", i, width, every)
+		}
+		// Rates must be scaled by the bucket's true width — a partial
+		// bucket normalized by the nominal width would fall outside [0,1].
+		if b.Utilization < 0 || b.Utilization > 1 {
+			t.Errorf("bucket %d utilization %v outside [0,1]", i, b.Utilization)
+		}
+		if b.CacheHitRate < 0 || b.CacheHitRate > 1 {
+			t.Errorf("bucket %d cache hit rate %v outside [0,1]", i, b.CacheHitRate)
+		}
+		instrs += b.Instructions
+		prevEnd = b.EndCycle
+	}
+	if instrs != res.Instructions {
+		t.Errorf("bucket instructions sum to %d, run retired %d", instrs, res.Instructions)
+	}
+}
+
 func TestDeadlockErrorIsTyped(t *testing.T) {
 	_, err := Run(assemble(t, deadlocked), 2, DefaultParams())
 	var dl *DeadlockError
@@ -229,6 +291,41 @@ func TestDeadlockErrorIsTyped(t *testing.T) {
 	}
 	if dl.Cycle <= 0 || dl.Live <= 0 || len(dl.Snapshot) == 0 {
 		t.Errorf("deadlock detail = %+v", dl)
+	}
+}
+
+// TestDeadlockSnapshotContents pins what a deadlock report tells the user:
+// which contexts are stuck, how they are blocked, where they sit in the
+// program, and the cycle the machine stalled at.
+func TestDeadlockSnapshotContents(t *testing.T) {
+	_, err := Run(assemble(t, deadlocked), 2, DefaultParams())
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("want *DeadlockError, got %T: %v", err, err)
+	}
+	// The program is one context that creates a channel and receives on it
+	// forever: exactly one live context, blocked in a recv.
+	if dl.Live != 1 || len(dl.Snapshot) != 1 {
+		t.Fatalf("live = %d, snapshot %d lines; want 1 and 1:\n%s",
+			dl.Live, len(dl.Snapshot), strings.Join(dl.Snapshot, "\n"))
+	}
+	line := dl.Snapshot[0]
+	for _, want := range []string{
+		"context 0",    // which context
+		"graph 0",      // where it sits
+		"blocked-recv", // how it is blocked
+		"parent -1",    // the root context has no parent
+		"cin",          // its channel registers
+		"cout",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("snapshot line %q missing %q", line, want)
+		}
+	}
+	// The error text carries the stall cycle and the snapshot verbatim.
+	msg := dl.Error()
+	if !strings.Contains(msg, fmt.Sprintf("cycle %d", dl.Cycle)) || !strings.Contains(msg, line) {
+		t.Errorf("Error() = %q; want the cycle and the snapshot inline", msg)
 	}
 }
 

@@ -115,7 +115,7 @@ func (c *Chrome) EndRun(pe, ctx int, at int64, reason EndReason) {
 // Instr events are deliberately not serialized: per-instruction slices
 // overwhelm the viewer on any non-trivial run. The hook exists so finer
 // recorders can be layered via Multi.
-func (c *Chrome) Instr(_, _, _, _ int, _ string, _ int64, _ int) {}
+func (c *Chrome) Instr(_, _, _, _ int, _ string, _ int64, _, _ int) {}
 
 func (c *Chrome) ContextCreated(ctx, parent, pe int, at int64) {
 	c.events = append(c.events, chromeEvent{
@@ -134,7 +134,7 @@ func (c *Chrome) ContextExited(ctx, pe int, at int64) {
 	})
 }
 
-func (c *Chrome) MsgOp(pe int, ch int32, op ChanOp, start, end int64, hit, completed bool) {
+func (c *Chrome) MsgOp(pe int, ch int32, op ChanOp, start, end int64, hit, completed bool, _, _ int) {
 	c.events = append(c.events, chromeEvent{
 		Name: fmt.Sprintf("%s ch %d", op, ch), Ph: "X", Ts: start, Dur: end - start,
 		Pid: chromePid, Tid: c.mpLane(pe),

@@ -98,8 +98,11 @@ type Recorder interface {
 	EndRun(pe, ctx int, at int64, reason EndReason)
 
 	// Instr: an instruction retired on a processing element. Issued only
-	// when a recorder is installed; op is the static mnemonic.
-	Instr(pe, ctx, graph, pc int, op string, at int64, cycles int)
+	// when a recorder is installed; op is the static mnemonic. stall is the
+	// portion of cycles spent servicing operand-queue window misses (the
+	// presence-bit stall of §5.2) — attribution consumers split it from the
+	// instruction's execute cost.
+	Instr(pe, ctx, graph, pc int, op string, at int64, cycles, stall int)
 
 	// ContextCreated: the kernel allocated a context (fork or program
 	// start) and placed it on a processing element.
@@ -114,8 +117,10 @@ type Recorder interface {
 
 	// MsgOp: the message processor on pe served a channel operation from
 	// start to end; hit reports channel-cache residence and completed a
-	// finished rendezvous.
-	MsgOp(pe int, ch int32, op ChanOp, start, end int64, hit, completed bool)
+	// finished rendezvous. On a completed rendezvous sendCtx and recvCtx
+	// identify the paired contexts (the happens-before edge critical-path
+	// analysis threads through); both are -1 while a party is still parked.
+	MsgOp(pe int, ch int32, op ChanOp, start, end int64, hit, completed bool, sendCtx, recvCtx int)
 
 	// RingTransfer: a message crossed the interconnect, issued at start and
 	// delivered at end, of which wait cycles were spent queued behind other
@@ -130,16 +135,16 @@ type Recorder interface {
 // recorders that care about a subset of the events.
 type NopRecorder struct{}
 
-func (NopRecorder) SampleEvery() int64                                    { return 0 }
-func (NopRecorder) BeginRun(_, _ int, _, _ int64, _ bool)                 {}
-func (NopRecorder) EndRun(_, _ int, _ int64, _ EndReason)                 {}
-func (NopRecorder) Instr(_, _, _, _ int, _ string, _ int64, _ int)        {}
-func (NopRecorder) ContextCreated(_, _, _ int, _ int64)                   {}
-func (NopRecorder) ContextReady(_, _, _ int, _ int64)                     {}
-func (NopRecorder) ContextExited(_, _ int, _ int64)                       {}
-func (NopRecorder) MsgOp(_ int, _ int32, _ ChanOp, _, _ int64, _, _ bool) {}
-func (NopRecorder) RingTransfer(_, _ int, _, _, _ int64)                  {}
-func (NopRecorder) Sample(_ int64, _ MachineSample)                       {}
+func (NopRecorder) SampleEvery() int64                                              { return 0 }
+func (NopRecorder) BeginRun(_, _ int, _, _ int64, _ bool)                           {}
+func (NopRecorder) EndRun(_, _ int, _ int64, _ EndReason)                           {}
+func (NopRecorder) Instr(_, _, _, _ int, _ string, _ int64, _, _ int)               {}
+func (NopRecorder) ContextCreated(_, _, _ int, _ int64)                             {}
+func (NopRecorder) ContextReady(_, _, _ int, _ int64)                               {}
+func (NopRecorder) ContextExited(_, _ int, _ int64)                                 {}
+func (NopRecorder) MsgOp(_ int, _ int32, _ ChanOp, _, _ int64, _, _ bool, _, _ int) {}
+func (NopRecorder) RingTransfer(_, _ int, _, _, _ int64)                            {}
+func (NopRecorder) Sample(_ int64, _ MachineSample)                                 {}
 
 var _ Recorder = NopRecorder{}
 
@@ -190,9 +195,9 @@ func (m multi) EndRun(pe, ctx int, at int64, reason EndReason) {
 	}
 }
 
-func (m multi) Instr(pe, ctx, graph, pc int, op string, at int64, cycles int) {
+func (m multi) Instr(pe, ctx, graph, pc int, op string, at int64, cycles, stall int) {
 	for _, r := range m {
-		r.Instr(pe, ctx, graph, pc, op, at, cycles)
+		r.Instr(pe, ctx, graph, pc, op, at, cycles, stall)
 	}
 }
 
@@ -214,9 +219,9 @@ func (m multi) ContextExited(ctx, pe int, at int64) {
 	}
 }
 
-func (m multi) MsgOp(pe int, ch int32, op ChanOp, start, end int64, hit, completed bool) {
+func (m multi) MsgOp(pe int, ch int32, op ChanOp, start, end int64, hit, completed bool, sendCtx, recvCtx int) {
 	for _, r := range m {
-		r.MsgOp(pe, ch, op, start, end, hit, completed)
+		r.MsgOp(pe, ch, op, start, end, hit, completed, sendCtx, recvCtx)
 	}
 }
 

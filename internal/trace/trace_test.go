@@ -14,13 +14,13 @@ func driveSynthetic(r Recorder) {
 	r.ContextCreated(0, -1, 0, 0)
 	r.ContextReady(0, 0, 1, 0)
 	r.BeginRun(0, 0, 10, 10, false)
-	r.Instr(0, 0, 0, 0, "dup", 10, 1)
-	r.MsgOp(0, 7, ChanSend, 20, 24, true, false)
+	r.Instr(0, 0, 0, 0, "dup", 10, 1, 0)
+	r.MsgOp(0, 7, ChanSend, 20, 24, true, false, -1, -1)
 	r.EndRun(0, 0, 20, EndBlockedSend)
 	r.ContextCreated(1, 0, 0, 20)
 	r.ContextReady(1, 0, 1, 20)
 	r.BeginRun(0, 1, 30, 10, false)
-	r.MsgOp(0, 7, ChanRecv, 35, 39, true, true)
+	r.MsgOp(0, 7, ChanRecv, 35, 39, true, true, 0, 1)
 	r.EndRun(0, 1, 40, EndExited)
 	r.ContextExited(1, 0, 40)
 	r.RingTransfer(0, 1, 41, 45, 2)
@@ -175,13 +175,13 @@ type countRecorder struct {
 func (c *countRecorder) SampleEvery() int64                    { return c.every }
 func (c *countRecorder) BeginRun(_, _ int, _, _ int64, _ bool) { c.begins++ }
 func (c *countRecorder) EndRun(_, _ int, _ int64, _ EndReason) { c.ends++ }
-func (c *countRecorder) Instr(_, _, _, _ int, _ string, _ int64, _ int) {
+func (c *countRecorder) Instr(_, _, _, _ int, _ string, _ int64, _, _ int) {
 	c.instrs++
 }
 func (c *countRecorder) ContextCreated(_, _, _ int, _ int64) { c.creates++ }
 func (c *countRecorder) ContextReady(_, _, _ int, _ int64)   { c.readies++ }
 func (c *countRecorder) ContextExited(_, _ int, _ int64)     { c.exits++ }
-func (c *countRecorder) MsgOp(_ int, _ int32, _ ChanOp, _, _ int64, _, _ bool) {
+func (c *countRecorder) MsgOp(_ int, _ int32, _ ChanOp, _, _ int64, _, _ bool, _, _ int) {
 	c.msgs++
 }
 func (c *countRecorder) RingTransfer(_, _ int, _, _, _ int64) { c.rings++ }
