@@ -26,6 +26,15 @@
 //	    sum exactly to PEs × makespan (the profiler's defining invariant —
 //	    a violation means the accounting itself broke, which gates CI).
 //
+//	qbench -sweep -out sweep.json
+//	    run the scheduler design-space explorer: the Chapter 6 suite across
+//	    every scheduling policy × machine sizes (× message-cache and ring
+//	    partition variants when requested), writing per-point cycles,
+//	    profiler cause attribution and Amdahl fits as JSON. -sweep-smoke
+//	    selects the small report-only CI grid; -sweep-benches,
+//	    -sweep-policies, -sweep-pes, -sweep-mcache and -sweep-partitions
+//	    override the grid axes (comma-separated).
+//
 // Bench output is read from the named file argument, or stdin when absent.
 // Benchmarks present in the run but not the baseline are reported as new
 // without failing the gate (commit the refreshed file to accept them).
@@ -33,6 +42,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -45,6 +55,7 @@ import (
 	"strings"
 
 	"queuemachine/internal/compile"
+	"queuemachine/internal/experiments"
 	"queuemachine/internal/profile"
 	"queuemachine/internal/sim"
 	"queuemachine/internal/workloads"
@@ -81,10 +92,32 @@ func main() {
 			"record the simInstrs/s host-throughput metric (report-only, no gating)")
 		profileMode = flag.Bool("profile", false,
 			"profile representative benchmarks and gate the attribution-sum invariant")
+		sweepMode = flag.Bool("sweep", false,
+			"run the scheduler design-space sweep and write the report JSON")
+		sweepSmoke = flag.Bool("sweep-smoke", false,
+			"use the small CI smoke grid (implies -sweep)")
+		sweepBenches = flag.String("sweep-benches", "",
+			"comma-separated benchmark subset for -sweep")
+		sweepPolicies = flag.String("sweep-policies", "",
+			"comma-separated policy subset for -sweep")
+		sweepPEs = flag.String("sweep-pes", "",
+			"comma-separated machine sizes for -sweep")
+		sweepMCache = flag.String("sweep-mcache", "",
+			"comma-separated message-cache capacities for -sweep")
+		sweepParts = flag.String("sweep-partitions", "",
+			"comma-separated ring partition counts for -sweep")
 	)
 	flag.Parse()
 	if *hostMode && *baselinePath != "" {
 		fatal(fmt.Errorf("-host throughput is machine-dependent and report-only; -baseline is not allowed"))
+	}
+	if *sweepMode || *sweepSmoke {
+		if *hostMode || *profileMode || *baselinePath != "" {
+			fatal(fmt.Errorf("-sweep runs its own simulations; -host, -profile and -baseline are not allowed"))
+		}
+		runSweep(*outPath, *sweepSmoke, *sweepBenches, *sweepPolicies,
+			*sweepPEs, *sweepMCache, *sweepParts)
+		return
 	}
 	if *profileMode {
 		if *hostMode || *baselinePath != "" {
@@ -392,6 +425,78 @@ func runProfiles(outDir string) {
 		os.Exit(1)
 	}
 	fmt.Printf("qbench: %d profiles verified: attribution sums to PEs × makespan\n", len(profileCases()))
+}
+
+// runSweep drives the scheduler design-space explorer. The report is
+// written as JSON to outPath (when set) and a per-point progress line plus
+// a winners summary go to stdout. Sweeps are report-only: any simulation
+// failure or wrong answer exits 1, but a policy losing to the baseline
+// never does.
+func runSweep(outPath string, smoke bool, benches, policies, pes, mcache, parts string) {
+	spec := experiments.DefaultSweepSpec()
+	if smoke {
+		spec = experiments.SmokeSweepSpec()
+	}
+	if benches != "" {
+		spec.Benchmarks = splitList(benches)
+	}
+	if policies != "" {
+		spec.Policies = splitList(policies)
+	}
+	var err error
+	if pes != "" {
+		if spec.PECounts, err = splitInts(pes); err != nil {
+			fatal(fmt.Errorf("-sweep-pes: %w", err))
+		}
+	}
+	if mcache != "" {
+		if spec.MCacheEntries, err = splitInts(mcache); err != nil {
+			fatal(fmt.Errorf("-sweep-mcache: %w", err))
+		}
+	}
+	if parts != "" {
+		if spec.Partitions, err = splitInts(parts); err != nil {
+			fatal(fmt.Errorf("-sweep-partitions: %w", err))
+		}
+	}
+	rep, err := experiments.RunPolicySweep(context.Background(), spec, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	experiments.WriteSweepSummary(os.Stdout, rep)
+	if outPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("qbench: wrote %d sweep points to %s\n", len(rep.Points), outPath)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

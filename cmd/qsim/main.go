@@ -4,6 +4,8 @@
 // Usage:
 //
 //	qsim -pes 4 prog.qobj
+//	qsim -pes 8 -sched steal prog.qobj    run under a scheduling policy
+//	                                      (fifo, locality, steal, critpath)
 //	qsim -pes 8 -dump prog.qobj           also dump the final data segment
 //	qsim -pes 4 -json prog.qobj           emit statistics as JSON (the qmd wire format)
 //	qsim -pes 4 -trace run.json prog.qobj write a Chrome trace-event file
@@ -24,10 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"queuemachine/internal/isa"
 	"queuemachine/internal/profile"
+	"queuemachine/internal/sched"
 	"queuemachine/internal/service"
 	"queuemachine/internal/sim"
 	"queuemachine/internal/trace"
@@ -35,7 +39,9 @@ import (
 
 func main() {
 	var (
-		pes      = flag.Int("pes", 1, "number of processing elements")
+		pes       = flag.Int("pes", 1, "number of processing elements")
+		schedName = flag.String("sched", "",
+			"kernel scheduling policy: fifo (default), locality, steal, critpath")
 		dump     = flag.Bool("dump", false, "dump the final data segment")
 		jsonOut  = flag.Bool("json", false, "emit run statistics as JSON")
 		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing)")
@@ -56,7 +62,14 @@ func main() {
 		fatal(err)
 	}
 
-	sys, err := sim.New(&obj, *pes, sim.DefaultParams())
+	params := sim.DefaultParams()
+	params.Scheduler = sched.Config{Policy: *schedName}
+	if !sched.Valid(*schedName) {
+		fmt.Fprintf(os.Stderr, "qsim: unknown scheduler %q (valid: %s)\n",
+			*schedName, strings.Join(sched.Names(), ", "))
+		os.Exit(2)
+	}
+	sys, err := sim.New(&obj, *pes, params)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,6 +138,7 @@ func main() {
 	}
 
 	stats := service.NewRunStats(res, *dump)
+	stats.Scheduler = params.Scheduler.Name()
 	stats.SetHostTime(hostTime)
 	if series != nil {
 		stats.Timeline = series.Series()
@@ -140,6 +154,8 @@ func main() {
 		return
 	}
 	fmt.Printf("processing elements  %d\n", res.NumPEs)
+	fmt.Printf("scheduler            %s (%d migrations, %d steals)\n",
+		params.Scheduler.Name(), res.Kernel.Migrations, res.Kernel.Steals)
 	fmt.Printf("cycles               %d\n", res.Cycles)
 	fmt.Printf("instructions         %d\n", res.Instructions)
 	fmt.Printf("utilization          %.3f\n", res.Utilization())

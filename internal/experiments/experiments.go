@@ -52,6 +52,7 @@ func All() []Experiment {
 		{"fig6.11", "Cholesky: throughput ratio vs processors (+ Table 6.4)", Fig611},
 		{"fig6.12", "Congruence transformation: throughput ratio vs processors (+ Table 6.5)", Fig612},
 		{"table6.6", "Compiler optimization speed-up factors", Table66},
+		{"sched", "Scheduler policy sweep: Chapter 6 smoke grid across policies", SchedSweep},
 		{"ablation-cache", "Ablation: message cache capacity vs speed-up", AblationCache},
 		{"ablation-bus", "Ablation: interconnect bandwidth vs speed-up", AblationBus},
 		{"ablation-window", "Ablation: register roll-out cost vs speed-up", AblationWindow},

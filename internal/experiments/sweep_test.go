@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunPolicySweepSmall(t *testing.T) {
+	spec := SweepSpec{
+		Benchmarks: []string{"matmul"},
+		Policies:   []string{"fifo", "steal"},
+		PECounts:   []int{1, 4},
+	}
+	rep, err := RunPolicySweep(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatalf("RunPolicySweep: %v", err)
+	}
+	if len(rep.Points) != 4 {
+		t.Fatalf("got %d points, want 4", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		// The profiler's defining invariant rides along into every point.
+		var sum int64
+		for _, v := range pt.Causes {
+			sum += v
+		}
+		if want := int64(pt.PEs) * pt.Cycles; sum != want {
+			t.Errorf("%s/%s/%d: causes sum to %d, want PEs × makespan = %d",
+				pt.Benchmark, pt.Policy, pt.PEs, sum, want)
+		}
+		if pt.VsFifo == 0 {
+			t.Errorf("%s/%s/%d: VsFifo not computed", pt.Benchmark, pt.Policy, pt.PEs)
+		}
+		if len(pt.CritPathCauses) == 0 {
+			t.Errorf("%s/%s/%d: no critical-path attribution", pt.Benchmark, pt.Policy, pt.PEs)
+		}
+	}
+	// fifo at any size compares to itself as exactly 1.
+	for _, pt := range rep.Points {
+		if pt.Policy == "fifo" && pt.VsFifo != 1 {
+			t.Errorf("fifo VsFifo = %v, want 1", pt.VsFifo)
+		}
+	}
+	if len(rep.Curves) != 2 {
+		t.Fatalf("got %d curves, want 2", len(rep.Curves))
+	}
+	for _, c := range rep.Curves {
+		if len(c.Speedups) != 2 || c.Speedups[0] != 1 {
+			t.Errorf("curve %s/%s speedups %v, want first point normalized to 1",
+				c.Benchmark, c.Policy, c.Speedups)
+		}
+		// The grid-refined fit can land a hair past 1.0 on super-linear
+		// curves; only wild values indicate a broken fit.
+		if c.AmdahlF < 0 || c.AmdahlF > 1.05 {
+			t.Errorf("curve %s/%s Amdahl f = %v far outside [0,1]", c.Benchmark, c.Policy, c.AmdahlF)
+		}
+	}
+
+	var b strings.Builder
+	WriteSweepSummary(&b, rep)
+	if !strings.Contains(b.String(), "matmul") {
+		t.Errorf("summary missing benchmark name:\n%s", b.String())
+	}
+}
+
+func TestRunPolicySweepRejectsUnknown(t *testing.T) {
+	if _, err := RunPolicySweep(context.Background(), SweepSpec{
+		Benchmarks: []string{"matmul"}, Policies: []string{"bogus"}, PECounts: []int{1},
+	}, nil); err == nil || !strings.Contains(err.Error(), "policy") {
+		t.Errorf("unknown policy error = %v", err)
+	}
+	if _, err := RunPolicySweep(context.Background(), SweepSpec{
+		Benchmarks: []string{"nope"}, Policies: []string{"fifo"}, PECounts: []int{1},
+	}, nil); err == nil || !strings.Contains(err.Error(), "benchmark") {
+		t.Errorf("unknown benchmark error = %v", err)
+	}
+}

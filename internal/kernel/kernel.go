@@ -2,18 +2,23 @@
 // §6.2: the context table and context state machine (Figure 6.4), queue
 // page allocation, channel identifier allocation, the kernel entry points
 // of Table 6.1 (context creation via rfork/ifork, termination, channel
-// allocation, real-time services), and the context placement policy that
-// distributes freshly forked contexts across processing elements.
+// allocation, real-time services), and the context scheduling seam that
+// distributes freshly forked contexts across processing elements and picks
+// the next ready context to dispatch.
 //
 // The kernel's code runs on the processing elements themselves (entered by
 // trap instructions); the simulator charges its cost at the trap site and
-// uses this package for the bookkeeping.
+// uses this package for the bookkeeping. The two scheduling decisions —
+// placement on fork and ready-queue ordering on dispatch — are delegated to
+// an internal/sched Policy chosen per run; the zero configuration is the
+// thesis's least-loaded + FIFO baseline.
 package kernel
 
 import (
 	"fmt"
 
 	"queuemachine/internal/pe"
+	"queuemachine/internal/sched"
 	"queuemachine/internal/trace"
 )
 
@@ -25,6 +30,7 @@ type Stats struct {
 	IForks           int64
 	ChannelsCreated  int64
 	Migrations       int64 // contexts placed on a PE other than their parent's
+	Steals           int64 // contexts re-homed by a work-stealing dispatch
 }
 
 // Kernel is the multiprocessing kernel state.
@@ -32,9 +38,9 @@ type Kernel struct {
 	numPEs   int
 	nextCtx  int
 	nextChan int32
+	pol      sched.Policy
 	contexts []*pe.Context // indexed by context id; nil once exited
 	home     []int32       // indexed by context id
-	ready    []ctxFIFO     // per-PE FIFO of ready context ids
 	resident []int         // per-PE count of live contexts
 	freeCtx  []*pe.Context
 	live     int
@@ -42,46 +48,29 @@ type Kernel struct {
 	Stats    Stats
 }
 
-// ctxFIFO is a ready queue that pops by advancing a head index instead of
-// re-slicing, so the backing array is reused once drained and steady-state
-// ready/dispatch traffic never reallocates.
-type ctxFIFO struct {
-	ids  []int
-	head int
-}
-
-func (f *ctxFIFO) push(id int) { f.ids = append(f.ids, id) }
-
-func (f *ctxFIFO) pop() (int, bool) {
-	if f.head == len(f.ids) {
-		return 0, false
-	}
-	id := f.ids[f.head]
-	f.head++
-	if f.head == len(f.ids) {
-		f.ids = f.ids[:0]
-		f.head = 0
-	}
-	return id, true
-}
-
-func (f *ctxFIFO) len() int { return len(f.ids) - f.head }
-
 // SetRecorder installs the instrumentation recorder (nil disables). The
 // recorder observes the context lifecycle; it never alters scheduling.
 func (k *Kernel) SetRecorder(rec trace.Recorder) { k.rec = rec }
 
 // New builds a kernel for a system with the given number of processing
-// elements. Channel identifiers start above zero so that 0 can serve as a
-// null channel.
-func New(numPEs int) *Kernel {
-	return &Kernel{
+// elements, scheduling through pol; nil selects the fifo baseline. Channel
+// identifiers start above zero so that 0 can serve as a null channel.
+func New(numPEs int, pol sched.Policy) *Kernel {
+	if pol == nil {
+		pol, _ = sched.New(sched.Config{}, numPEs, nil) // fifo never fails
+	}
+	k := &Kernel{
 		numPEs:   numPEs,
-		ready:    make([]ctxFIFO, numPEs),
+		pol:      pol,
 		resident: make([]int, numPEs),
 		nextChan: 1,
 	}
+	pol.Bind(k)
+	return k
 }
+
+// Policy reports the scheduling policy the kernel dispatches through.
+func (k *Kernel) Policy() sched.Policy { return k.pol }
 
 // AllocChannel returns a fresh channel identifier.
 func (k *Kernel) AllocChannel() int32 {
@@ -91,35 +80,13 @@ func (k *Kernel) AllocChannel() int32 {
 	return ch
 }
 
-// PlacementSlack tunes the placement policy: a new context stays on its
-// parent's processing element unless that element hosts more than
-// PlacementSlack contexts beyond the least-loaded one. Zero is pure
-// least-loaded placement.
-var PlacementSlack = 0
-
-// Place chooses the processing element for a new context: the least-loaded
-// one (ties broken by lowest identifier), except that the parent's element
-// wins when its load is within PlacementSlack of the minimum — keeping the
-// splice protocol local where the load balance allows.
-func (k *Kernel) Place(parentPE int) int {
-	best := 0
-	for p := 1; p < k.numPEs; p++ {
-		if k.resident[p] < k.resident[best] {
-			best = p
-		}
-	}
-	if PlacementSlack > 0 && parentPE >= 0 && parentPE < k.numPEs &&
-		k.resident[parentPE] <= k.resident[best]+PlacementSlack {
-		return parentPE
-	}
-	return best
-}
-
 // CreateContext allocates a context for the given graph, assigns it to a
-// processing element chosen by Place, marks it ready, and returns it with
-// its hosting PE. The caller sets the channel registers. `at` is the
-// simulated time of the creating event, used only for instrumentation.
-func (k *Kernel) CreateContext(graph, pageWords, parentID, parentPE int, at int64) (*pe.Context, int) {
+// processing element chosen by the scheduling policy, marks it ready, and
+// returns it with its hosting PE. prio is the context's static dispatch
+// priority (the compiled graph weight; only priority policies read it).
+// The caller sets the channel registers. `at` is the simulated time of the
+// creating event, used only for instrumentation.
+func (k *Kernel) CreateContext(graph, pageWords, parentID, parentPE int, prio int32, at int64) (*pe.Context, int) {
 	id := k.nextCtx
 	k.nextCtx++
 	var c *pe.Context
@@ -132,7 +99,8 @@ func (k *Kernel) CreateContext(graph, pageWords, parentID, parentPE int, at int6
 		c = pe.NewContext(id, graph, pageWords)
 	}
 	c.Parent = parentID
-	target := k.Place(parentPE)
+	c.Priority = prio
+	target := k.pol.Place(parentPE, prio)
 	k.contexts = append(k.contexts, c)
 	k.home = append(k.home, int32(target))
 	k.resident[target]++
@@ -141,10 +109,10 @@ func (k *Kernel) CreateContext(graph, pageWords, parentID, parentPE int, at int6
 	if target != parentPE {
 		k.Stats.Migrations++
 	}
-	k.ready[target].push(id)
+	k.pol.Enqueue(target, id, prio)
 	if k.rec != nil {
 		k.rec.ContextCreated(id, parentID, target, at)
-		k.rec.ContextReady(id, target, k.ready[target].len(), at)
+		k.rec.ContextReady(id, target, k.pol.Len(target), at)
 	}
 	return c, target
 }
@@ -179,29 +147,39 @@ func (k *Kernel) Ready(id int, at int64) error {
 	}
 	c.Status = pe.Ready
 	p := int(k.home[id])
-	k.ready[p].push(id)
+	k.pol.Enqueue(p, id, c.Priority)
 	if k.rec != nil {
-		k.rec.ContextReady(id, p, k.ready[p].len(), at)
+		k.rec.ContextReady(id, p, k.pol.Len(p), at)
 	}
 	return nil
 }
 
 // NextReady pops the next runnable context for a processing element,
-// returning nil when its ready queue is empty.
-func (k *Kernel) NextReady(peID int) *pe.Context {
-	id, ok := k.ready[peID].pop()
+// returning nil when the policy has nothing for it. The second result is
+// the element whose ready queue supplied the context: it differs from peID
+// when a work-stealing policy migrated the context, in which case the
+// kernel has already re-homed it (the caller charges the migration cost).
+func (k *Kernel) NextReady(peID int) (*pe.Context, int) {
+	id, from, ok := k.pol.Dispatch(peID)
 	if !ok {
-		return nil
+		return nil, peID
 	}
 	c := k.contexts[id]
 	c.Status = pe.Running
-	return c
+	if from != peID {
+		k.resident[from]--
+		k.resident[peID]++
+		k.home[id] = int32(peID)
+		k.Stats.Steals++
+	}
+	return c, from
 }
 
 // ReadyCount reports the length of a processing element's ready queue.
-func (k *Kernel) ReadyCount(peID int) int { return k.ready[peID].len() }
+func (k *Kernel) ReadyCount(peID int) int { return k.pol.Len(peID) }
 
-// Resident reports how many live contexts a processing element hosts.
+// Resident reports how many live contexts a processing element hosts. It
+// is also the sched.Loads view placement policies read.
 func (k *Kernel) Resident(peID int) int { return k.resident[peID] }
 
 // Exit terminates a context (the KExit entry point), releasing its queue

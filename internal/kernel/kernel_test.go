@@ -8,7 +8,7 @@ import (
 )
 
 func TestChannelAllocation(t *testing.T) {
-	k := New(4)
+	k := New(4, nil)
 	a, b := k.AllocChannel(), k.AllocChannel()
 	if a == 0 || b == 0 || a == b {
 		t.Errorf("channels %d, %d", a, b)
@@ -19,18 +19,18 @@ func TestChannelAllocation(t *testing.T) {
 }
 
 func TestPlacementLeastLoaded(t *testing.T) {
-	k := New(3)
+	k := New(3, nil)
 	// First three contexts land on distinct PEs.
 	seen := map[int]bool{}
 	for i := 0; i < 3; i++ {
-		_, p := k.CreateContext(0, 32, -1, 0, 0)
+		_, p := k.CreateContext(0, 32, -1, 0, 0, 0)
 		if seen[p] {
 			t.Errorf("PE %d reused while others empty", p)
 		}
 		seen[p] = true
 	}
 	// Fourth wraps to the lowest-numbered PE.
-	_, p := k.CreateContext(0, 32, -1, 0, 0)
+	_, p := k.CreateContext(0, 32, -1, 0, 0, 0)
 	if p != 0 {
 		t.Errorf("fourth context on PE %d, want 0", p)
 	}
@@ -43,28 +43,31 @@ func TestPlacementLeastLoaded(t *testing.T) {
 }
 
 func TestReadyQueueFIFO(t *testing.T) {
-	k := New(1)
-	c1, _ := k.CreateContext(0, 32, -1, 0, 0)
-	c2, _ := k.CreateContext(0, 32, -1, 0, 0)
+	k := New(1, nil)
+	c1, _ := k.CreateContext(0, 32, -1, 0, 0, 0)
+	c2, _ := k.CreateContext(0, 32, -1, 0, 0, 0)
 	if k.ReadyCount(0) != 2 {
 		t.Fatalf("ready = %d", k.ReadyCount(0))
 	}
-	got1 := k.NextReady(0)
-	got2 := k.NextReady(0)
+	got1, from1 := k.NextReady(0)
+	got2, _ := k.NextReady(0)
 	if got1 != c1 || got2 != c2 {
 		t.Error("FIFO order violated")
+	}
+	if from1 != 0 {
+		t.Errorf("fifo dispatch reported source PE %d", from1)
 	}
 	if got1.Status != pe.Running {
 		t.Error("dispatched context not running")
 	}
-	if k.NextReady(0) != nil {
+	if c, _ := k.NextReady(0); c != nil {
 		t.Error("empty queue returned a context")
 	}
 }
 
 func TestBlockAndReady(t *testing.T) {
-	k := New(1)
-	c, _ := k.CreateContext(0, 32, -1, 0, 0)
+	k := New(1, nil)
+	c, _ := k.CreateContext(0, 32, -1, 0, 0, 0)
 	k.NextReady(0)
 	c.Status = pe.BlockedRecv
 	if err := k.Ready(c.ID, 0); err != nil {
@@ -83,8 +86,8 @@ func TestBlockAndReady(t *testing.T) {
 }
 
 func TestExitLifecycle(t *testing.T) {
-	k := New(2)
-	c, p := k.CreateContext(0, 32, -1, 0, 0)
+	k := New(2, nil)
+	c, p := k.CreateContext(0, 32, -1, 0, 0, 0)
 	if k.Live() != 1 || k.Resident(p) != 1 {
 		t.Fatal("creation accounting")
 	}
@@ -106,8 +109,8 @@ func TestExitLifecycle(t *testing.T) {
 }
 
 func TestSnapshot(t *testing.T) {
-	k := New(1)
-	k.CreateContext(3, 32, 7, 0, 0)
+	k := New(1, nil)
+	k.CreateContext(3, 32, 7, 0, 0, 0)
 	snap := k.Snapshot()
 	if len(snap) != 1 || !strings.Contains(snap[0], "graph 3") || !strings.Contains(snap[0], "parent 7") {
 		t.Errorf("snapshot = %v", snap)
@@ -115,8 +118,8 @@ func TestSnapshot(t *testing.T) {
 }
 
 func TestContextLookup(t *testing.T) {
-	k := New(1)
-	c, _ := k.CreateContext(0, 32, -1, 0, 0)
+	k := New(1, nil)
+	c, _ := k.CreateContext(0, 32, -1, 0, 0, 0)
 	got, err := k.Context(c.ID)
 	if err != nil || got != c {
 		t.Error("lookup failed")

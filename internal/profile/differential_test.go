@@ -1,4 +1,4 @@
-package profile
+package profile_test
 
 import (
 	"fmt"
@@ -6,9 +6,21 @@ import (
 
 	"queuemachine/internal/compile"
 	"queuemachine/internal/experiments"
+	"queuemachine/internal/profile"
 	"queuemachine/internal/sim"
 	"queuemachine/internal/workloads"
 )
+
+// sumCauses mirrors the helper of the in-package tests (this file lives in
+// the external test package so it can import internal/experiments, which
+// itself imports profile).
+func sumCauses(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
 
 // benchCase is one cell of the Chapter 6 benchmark grid.
 type benchCase struct {
@@ -47,7 +59,7 @@ func chapter6Grid() []benchCase {
 
 // checkProfileInvariants asserts the attribution identities a finished
 // profile must satisfy by construction.
-func checkProfileInvariants(t *testing.T, name string, res *sim.Result, prof *Profile) {
+func checkProfileInvariants(t *testing.T, name string, res *sim.Result, prof *profile.Profile) {
 	t.Helper()
 	total := int64(res.NumPEs) * res.Cycles
 	if got := sumCauses(prof.Causes); got != total {
@@ -113,7 +125,7 @@ func TestAttributionChapter6(t *testing.T) {
 			if err != nil {
 				t.Fatalf("New: %v", err)
 			}
-			prof := New(c.pes)
+			prof := profile.New(c.pes)
 			sys.SetRecorder(prof)
 			res, err := sys.Run()
 			if err != nil {
@@ -145,7 +157,7 @@ func TestAttributionShort(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		prof := New(pes)
+		prof := profile.New(pes)
 		sys.SetRecorder(prof)
 		res, err := sys.Run()
 		if err != nil {

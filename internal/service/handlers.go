@@ -7,11 +7,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"queuemachine/internal/compile"
 	"queuemachine/internal/isa"
 	"queuemachine/internal/profile"
+	"queuemachine/internal/sched"
 	"queuemachine/internal/sim"
 )
 
@@ -54,6 +56,12 @@ type runRequest struct {
 	Options compileOptions `json:"options"`
 	// PEs is the simulated machine size (default 1).
 	PEs int `json:"pes,omitempty"`
+	// Scheduler selects the kernel scheduling policy by name ("fifo",
+	// "locality", "steal", "critpath"; empty keeps the thesis FIFO
+	// baseline). A convenience over params.Scheduler.Policy; when both are
+	// present this field wins. Unknown names are rejected with 400 and the
+	// valid list.
+	Scheduler string `json:"scheduler,omitempty"`
 	// Params overlays fields onto the service's base sim.Params.
 	Params    json.RawMessage `json:"params,omitempty"`
 	TimeoutMS int64           `json:"timeout_ms,omitempty"`
@@ -234,6 +242,14 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.Scheduler != "" {
+		params.Scheduler.Policy = req.Scheduler
+	}
+	if !sched.Valid(params.Scheduler.Policy) {
+		s.error(w, badRequest("unknown scheduler %q (valid: %s)",
+			params.Scheduler.Policy, strings.Join(sched.Names(), ", ")))
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
 	defer cancel()
 	v, err := s.execute(ctx, func(ctx context.Context) (any, error) {
@@ -281,7 +297,9 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.cyclesServed.Add(res.Cycles)
 		s.instrsServed.Add(res.Instructions)
 		s.simNanos.Add(int64(simTime))
+		s.recordSched(params.Scheduler.Name(), res.Kernel.Migrations, res.Kernel.Steals)
 		resp.Stats = NewRunStats(res, req.DumpData)
+		resp.Stats.Scheduler = params.Scheduler.Name()
 		resp.Stats.SetHostTime(simTime)
 		if profiler != nil {
 			resp.Stats.Profile = profiler.Finalize(res.Cycles)

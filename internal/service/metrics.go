@@ -80,6 +80,24 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	counter("qmd_sim_instructions_total", "Simulated instructions served by successful runs.",
 		"", st.InstructionsServed)
+	if len(st.SchedRuns) > 0 {
+		policies := make([]string, 0, len(st.SchedRuns))
+		for p := range st.SchedRuns {
+			policies = append(policies, p)
+		}
+		sort.Strings(policies)
+		pairs := make([]any, 0, 2*len(policies))
+		for _, p := range policies {
+			pairs = append(pairs, fmt.Sprintf("{policy=%q}", p), st.SchedRuns[p])
+		}
+		counter("qmd_sched_runs_total", "Successful runs by scheduling policy.", pairs...)
+	}
+	counter("qmd_sched_migrations_total",
+		"Contexts placed on a processing element other than their parent's.",
+		"", st.SchedMigrations)
+	counter("qmd_sched_steals_total",
+		"Contexts re-homed by a work-stealing dispatch.",
+		"", st.SchedSteals)
 	counter("qmd_cache_hits_total", "Artifact cache hits.", "", st.Cache.Hits)
 	counter("qmd_cache_misses_total", "Artifact cache misses.", "", st.Cache.Misses)
 	counter("qmd_cache_evictions_total", "Artifact cache evictions.", "", st.Cache.Evictions)

@@ -112,6 +112,13 @@ type Service struct {
 	// beats pre-sizing an atomic slot per cause.
 	causeMu     sync.Mutex
 	causeCycles map[string]int64
+
+	// schedRuns counts successful runs by resolved scheduling policy;
+	// the totals feed the /statsz policy breakdown and the
+	// qmd_sched_*_total metrics.
+	schedMu                      sync.Mutex
+	schedRuns                    map[string]int64
+	schedMigrations, schedSteals atomic.Int64
 }
 
 // New builds a service; it is ready to serve as soon as its Handler is

@@ -20,17 +20,25 @@ type RunStats struct {
 	ContextsCreated int64   `json:"contexts_created"`
 	RForks          int64   `json:"rforks"`
 	IForks          int64   `json:"iforks"`
-	Switches        int64   `json:"switches"`
-	Resumes         int64   `json:"resumes"`
-	RolledRegisters int64   `json:"rolled_registers"`
-	Rendezvous      int64   `json:"rendezvous"`
-	ChanCacheHits   int64   `json:"chan_cache_hits"`
-	ChanCacheMisses int64   `json:"chan_cache_misses"`
-	ChanCacheEvicts int64   `json:"chan_cache_evictions"`
-	RingMessages    int64   `json:"ring_messages"`
-	RingWaitCycles  int64   `json:"ring_wait_cycles"`
-	MemReads        int64   `json:"mem_reads"`
-	MemWrites       int64   `json:"mem_writes"`
+	// Scheduler is the scheduling policy the run executed under (the
+	// resolved name: empty request fields report "fifo"). Migrations
+	// counts contexts placed on a processing element other than their
+	// parent's; Steals counts contexts re-homed by a work-stealing
+	// dispatch (zero except under the steal policy).
+	Scheduler       string `json:"scheduler,omitempty"`
+	Migrations      int64  `json:"migrations"`
+	Steals          int64  `json:"steals"`
+	Switches        int64  `json:"switches"`
+	Resumes         int64  `json:"resumes"`
+	RolledRegisters int64  `json:"rolled_registers"`
+	Rendezvous      int64  `json:"rendezvous"`
+	ChanCacheHits   int64  `json:"chan_cache_hits"`
+	ChanCacheMisses int64  `json:"chan_cache_misses"`
+	ChanCacheEvicts int64  `json:"chan_cache_evictions"`
+	RingMessages    int64  `json:"ring_messages"`
+	RingWaitCycles  int64  `json:"ring_wait_cycles"`
+	MemReads        int64  `json:"mem_reads"`
+	MemWrites       int64  `json:"mem_writes"`
 	// HostSeconds and HostMIPS report the wall-clock cost of the run on
 	// the host and the simulator's throughput in millions of simulated
 	// instructions per host second. Present when the producer timed the
@@ -71,6 +79,8 @@ func NewRunStats(res *sim.Result, includeData bool) *RunStats {
 		ContextsCreated: res.Kernel.ContextsCreated,
 		RForks:          res.Kernel.RForks,
 		IForks:          res.Kernel.IForks,
+		Migrations:      res.Kernel.Migrations,
+		Steals:          res.Kernel.Steals,
 		Switches:        res.Switches,
 		Resumes:         res.Resumes,
 		RolledRegisters: res.RolledRegisters,
@@ -117,6 +127,12 @@ type ServiceStats struct {
 	// ring causes are those lanes' busy cycles. Empty until a profiled run
 	// completes.
 	CycleCauses map[string]int64 `json:"cycle_causes,omitempty"`
+	// SchedRuns counts successful runs by resolved scheduling policy;
+	// SchedMigrations and SchedSteals total those runs' cross-element
+	// placements and work-stealing dispatches.
+	SchedRuns       map[string]int64 `json:"sched_runs,omitempty"`
+	SchedMigrations int64            `json:"sched_migrations"`
+	SchedSteals     int64            `json:"sched_steals"`
 }
 
 // Stats snapshots the service counters.
@@ -144,7 +160,35 @@ func (s *Service) Stats() ServiceStats {
 		HostMIPS:           mips,
 		Cache:              s.cache.stats(),
 		CycleCauses:        s.causeSnapshot(),
+		SchedRuns:          s.schedSnapshot(),
+		SchedMigrations:    s.schedMigrations.Load(),
+		SchedSteals:        s.schedSteals.Load(),
 	}
+}
+
+// recordSched accounts one successful run's scheduling activity.
+func (s *Service) recordSched(policy string, migrations, steals int64) {
+	s.schedMigrations.Add(migrations)
+	s.schedSteals.Add(steals)
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	if s.schedRuns == nil {
+		s.schedRuns = make(map[string]int64)
+	}
+	s.schedRuns[policy]++
+}
+
+func (s *Service) schedSnapshot() map[string]int64 {
+	s.schedMu.Lock()
+	defer s.schedMu.Unlock()
+	if len(s.schedRuns) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.schedRuns))
+	for k, v := range s.schedRuns {
+		out[k] = v
+	}
+	return out
 }
 
 // recordCauses folds one profiled run's attribution into the cumulative

@@ -9,6 +9,7 @@ package sim
 import (
 	"queuemachine/internal/pe"
 	"queuemachine/internal/ring"
+	"queuemachine/internal/sched"
 )
 
 // Params collects every architectural timing constant of the simulated
@@ -21,6 +22,13 @@ type Params struct {
 	// largest legal count with two processing elements per partition
 	// (the Figure 5.18 configuration).
 	Partitions int
+	// Scheduler selects the kernel scheduling policy (context placement on
+	// fork, ready-queue ordering on dispatch). The zero value is the
+	// thesis baseline: least-loaded placement with per-element FIFO
+	// dispatch. Per-run configuration — there is no process-global
+	// scheduling state, so concurrent runs with different policies never
+	// interfere.
+	Scheduler sched.Config
 	// MsgCacheEntries is the per-message-processor channel cache size.
 	MsgCacheEntries int
 	// MPCycles is the message processor's base cost per operation.

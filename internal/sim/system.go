@@ -9,6 +9,7 @@ import (
 	"queuemachine/internal/mcache"
 	"queuemachine/internal/pe"
 	"queuemachine/internal/ring"
+	"queuemachine/internal/sched"
 	"queuemachine/internal/trace"
 )
 
@@ -114,11 +115,15 @@ func New(obj *isa.Object, numPEs int, params Params) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	pol, err := sched.New(params.Scheduler, numPEs, bus)
+	if err != nil {
+		return nil, err
+	}
 	s := &System{
 		prog:     prog,
 		numPEs:   numPEs,
 		p:        params,
-		kern:     kernel.New(numPEs),
+		kern:     kernel.New(numPEs, pol),
 		bus:      bus,
 		caches:   make([]*mcache.Cache, numPEs),
 		mpFree:   make([]int64, numPEs),
@@ -191,7 +196,8 @@ const (
 func (s *System) RunContext(ctx context.Context) (*Result, error) {
 	// The initial context executes the entry graph on the least-loaded
 	// (hence first) processing element, with fresh in/out channels.
-	main, target := s.kern.CreateContext(s.prog.Obj.Entry, s.prog.QueueWords(s.prog.Obj.Entry), -1, 0, 0)
+	entry := s.prog.Obj.Entry
+	main, target := s.kern.CreateContext(entry, s.prog.QueueWords(entry), -1, 0, s.graphPrio(entry), 0)
 	main.SetChannels(s.kern.AllocChannel(), s.kern.AllocChannel())
 	s.scheduleKick(target, 0)
 
@@ -322,29 +328,57 @@ func (s *System) emitSample(at int64) {
 	s.rec.Sample(at, ms)
 }
 
+// graphPrio is the static dispatch priority of a graph's contexts: the
+// compiler-emitted §4.5 cost-analysis weight, clamped into the context's
+// 32-bit priority field. Zero for weightless (hand-written) objects.
+func (s *System) graphPrio(gi int) int32 {
+	w := s.prog.Obj.Graphs[gi].Weight
+	if w > 1<<31-1 {
+		w = 1<<31 - 1
+	}
+	return int32(w)
+}
+
 // dispatch starts the next ready context on an idle processing element,
-// charging the context-switch or resume cost.
+// charging the context-switch or resume cost. A context the policy stole
+// from another element additionally pays its migration: one ring transfer
+// for the hand-off plus the roll-out of any window registers it still had
+// loaded on the victim — a stolen context can never resume warm.
 func (s *System) dispatch(peID int) {
 	if s.running[peID] != nil {
 		return
 	}
-	c := s.kern.NextReady(peID)
+	c, from := s.kern.NextReady(peID)
 	if c == nil {
 		return
 	}
 	s.running[peID] = c
 	var cost int64
-	resumed := s.lastCtx[peID] == c
+	resumed := from == peID && s.lastCtx[peID] == c
 	if resumed {
 		// The context's window registers are still loaded.
 		cost = s.p.Resume
 		s.resumes++
 	} else {
 		cost = int64(s.p.PE.SwitchBase) + int64(s.p.PE.ReadyScan)*int64(s.kern.Resident(peID))
-		if prev := s.lastCtx[peID]; prev != nil {
+		if prev := s.lastCtx[peID]; prev != nil && prev != c {
 			n := prev.RollOut()
 			cost += int64(s.p.PE.RollOut) * int64(n)
 			s.rolledRegs += int64(n)
+		}
+		if from != peID {
+			// Migration: the context's queue-page hand-off crosses the
+			// ring under the ordinary contention model, and its window
+			// state on the victim element rolls out.
+			n := c.RollOut()
+			cost += int64(s.p.PE.RollOut) * int64(n)
+			s.rolledRegs += int64(n)
+			cost += s.bus.Transfer(s.now, from, peID) - s.now
+			if s.lastCtx[from] == c {
+				// The victim no longer holds the context's registers; a
+				// dangling pointer here could alias a recycled context.
+				s.lastCtx[from] = nil
+			}
 		}
 		s.switches++
 	}
@@ -585,7 +619,7 @@ func (s *System) handleTrap(peID int, c *pe.Context, code, arg int32, t int64) {
 			s.fail(fmt.Errorf("sim: context %d forks unknown graph %d", c.ID, gi))
 			return
 		}
-		child, target := s.kern.CreateContext(gi, s.prog.QueueWords(gi), c.ID, peID, t)
+		child, target := s.kern.CreateContext(gi, s.prog.QueueWords(gi), c.ID, peID, s.graphPrio(gi), t)
 		cin := s.kern.AllocChannel()
 		var cout int32
 		if code == isa.KRFork {
