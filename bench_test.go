@@ -329,6 +329,34 @@ func BenchmarkTable66(b *testing.B) {
 	}
 }
 
+// gen2PECounts is the machine-size sweep for the second-generation suite;
+// the qbench gate holds an exact cycle baseline for every point.
+var gen2PECounts = []int{1, 2, 4, 8}
+
+// BenchmarkGen2Bitonic sorts 16 keys through the full bitonic network, one
+// replicated par of compare-exchange contexts per stage.
+func BenchmarkGen2Bitonic(b *testing.B) {
+	benchWorkload(b, workloads.Bitonic(4), gen2PECounts)
+}
+
+// BenchmarkGen2LU factors an exactly decomposable 6×6 integer matrix with
+// Doolittle elimination, a U-row and L-column fan-out per step.
+func BenchmarkGen2LU(b *testing.B) {
+	benchWorkload(b, workloads.LU(6), gen2PECounts)
+}
+
+// BenchmarkGen2Stencil runs four three-point sweeps over 16 cells,
+// ping-ponging between buffers with one context per interior cell.
+func BenchmarkGen2Stencil(b *testing.B) {
+	benchWorkload(b, workloads.Stencil(16, 4), gen2PECounts)
+}
+
+// BenchmarkGen2Chain pushes 24 values through the four-stage rendezvous
+// pipeline; the run is dominated by channel traffic on the ring and mcache.
+func BenchmarkGen2Chain(b *testing.B) {
+	benchWorkload(b, workloads.Chain(24), gen2PECounts)
+}
+
 // BenchmarkCompiler measures the OCCAM compiler itself on the largest
 // benchmark program.
 func BenchmarkCompiler(b *testing.B) {

@@ -328,10 +328,11 @@ func sortedKeys(m map[string]int64) []string {
 	return keys
 }
 
-// profileCases are the representative Chapter 6 benchmarks the -profile
-// gate runs: one per program shape (regular matrix product, butterfly
-// communication, triangular dependence), all at the full 8-element machine
-// where the rendezvous and ring machinery is busiest.
+// profileCases are the representative benchmarks the -profile gate runs:
+// one per program shape (regular matrix product, butterfly communication,
+// triangular dependence, and a channel-bound rendezvous pipeline), all at
+// the full 8-element machine where the rendezvous and ring machinery is
+// busiest.
 func profileCases() []struct {
 	name string
 	wl   workloads.Workload
@@ -345,6 +346,7 @@ func profileCases() []struct {
 		{"fig68-matmul-8", workloads.MatMul(8), 8},
 		{"fig610-fft-6", workloads.FFT(6), 8},
 		{"fig611-cholesky-8", workloads.Cholesky(8), 8},
+		{"gen2-chain-24", workloads.Chain(24), 8},
 	}
 }
 

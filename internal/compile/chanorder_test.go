@@ -1,0 +1,71 @@
+package compile
+
+import "testing"
+
+// Regression tests for two rendezvous-scheduling deadlocks the
+// differential fuzzer (internal/occamgen, cmd/qfuzz) found. Both are
+// instruction-ordering bugs in the context protocol, not channel-matching
+// bugs, so each needs a specific shape to fire.
+
+// TestChannelSendAfterAllInputs pins the input-side ordering rule: a
+// branch's rendezvous ops must come after all its input receives. Before
+// the fix, π_I could schedule the c1 send (which depends only on s4)
+// ahead of the s2 input receive; the branch then blocked on the
+// rendezvous with the parent still holding s2 in flight, and the sibling
+// owning the channel's other end was never fed. Found as qfuzz seed 44.
+func TestChannelSendAfterAllInputs(t *testing.T) {
+	src := `var v[1], s2, s4, s5:
+chan c1:
+seq
+  s4 := 9
+  par
+    seq
+      c1 ! (- (s4 \/ -17))
+      seq r0 = [0 for 2]
+        par
+          seq
+            s2 := r0
+    seq
+      c1 ? s5
+  v[0] := s5
+`
+	for _, pes := range []int{1, 3} {
+		res, art := compileRun(t, src, pes, Options{})
+		// s4 \/ -17 = -17 (the OR adds no bits), so s5 = 17.
+		if got := vecWord(t, res, art, "v", 0); got != 17 {
+			t.Errorf("%d PEs: v[0] = %d, want 17", pes, got)
+		}
+	}
+}
+
+// TestChannelOpsBeforeOutputs pins the output-side ordering rule: a
+// branch must finish its rendezvous script before publishing results.
+// Before the fix, the receiver could interleave its result send between
+// two channel receives; the parent awaits branches in a fixed order, so
+// the sender branch (awaited first) blocked on the second rendezvous the
+// receiver never reached. Found as qfuzz seed 13.
+func TestChannelOpsBeforeOutputs(t *testing.T) {
+	src := `var v[3], s1, s3, s4:
+chan c2:
+seq
+  par
+    seq
+      c2 ! 13
+      c2 ! 29
+      s1 := -7
+    seq
+      c2 ? s4
+      c2 ? s3
+  v[0] := s1
+  v[1] := s3
+  v[2] := s4
+`
+	for _, pes := range []int{1, 3} {
+		res, art := compileRun(t, src, pes, Options{})
+		for i, want := range []int32{-7, 29, 13} {
+			if got := vecWord(t, res, art, "v", i); got != want {
+				t.Errorf("%d PEs: v[%d] = %d, want %d", pes, i, got, want)
+			}
+		}
+	}
+}

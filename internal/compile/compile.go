@@ -94,6 +94,9 @@ func Compile(src string, opts Options) (*Artifact, error) {
 
 // CompileProgram compiles an already-parsed program.
 func CompileProgram(prog *occam.Program, opts Options) (*Artifact, error) {
+	if err := checkStatic(prog); err != nil {
+		return nil, err
+	}
 	desugar(prog)
 	table, err := ift.Build(prog)
 	if err != nil {
@@ -107,6 +110,9 @@ func CompileProgram(prog *occam.Program, opts Options) (*Artifact, error) {
 		procs:  map[*occam.Symbol]*procInfo{},
 	}
 	c.layoutVectors(prog.Body)
+	if c.dataWords > maxDataWords {
+		return nil, fmt.Errorf("compile: data segment needs %d words, above the %d-word limit", c.dataWords, maxDataWords)
+	}
 	if err := c.build(); err != nil {
 		return nil, err
 	}

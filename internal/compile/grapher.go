@@ -77,10 +77,20 @@ func (gc *graphCtx) chainOn(ch *dfg.Node, op *dfg.Node) {
 	gc.chains[ch] = op
 }
 
-// chainK serializes a node on the global control token.
+// chainK serializes a node on the global control token. Every holder also
+// orders after the graph's input receives: the parent sends a child's
+// whole input before awaiting anything (spliceTo), so a child that blocks
+// on a rendezvous while inputs are still in flight would wedge the parent
+// — and starve the sibling holding the channel's other end. Ordering on
+// the received K token alone is not enough, because π_I may schedule a
+// data input after the K slot. The same hazard for result sends is
+// handled in sendOutputs.
 func (gc *graphCtx) chainK(op *dfg.Node) {
 	if gc.lastK != nil {
 		gc.g.AddOrder(op, gc.lastK)
+	}
+	for _, r := range gc.inRecvs {
+		gc.g.AddOrder(op, r)
 	}
 	gc.lastK = op
 }

@@ -107,10 +107,15 @@ func (ch *childGraph) chainInputs(perm []int) {
 
 // sendOutputs emits the child's result sends on its out channel: one
 // rendezvous per slot, the token slot carrying the graph's combined
-// completion token. The first send carries a hard order arc after the last
-// input receive — the parent holds both channel ends and sends every input
-// before receiving any output, so a child answering early would deadlock
-// against it.
+// completion token. The first send carries hard order arcs after the last
+// input receive and after the tail of the K chain. The receive arc exists
+// because the parent holds both channel ends and sends every input before
+// receiving any output, so a child answering early would deadlock against
+// it. The K-chain arc exists because the parent awaits its children in a
+// fixed order: a child publishing results while a program-channel
+// rendezvous of its own is still pending can block a sibling the
+// earlier-awaited child depends on (the channel's other end), wedging all
+// three.
 func (ch *childGraph) sendOutputs(outs []ift.Value) {
 	gc := ch.gc
 	outSlots := packSlots(outs)
@@ -120,8 +125,13 @@ func (ch *childGraph) sendOutputs(outs []ift.Value) {
 		for _, sl := range outSlots {
 			s := gc.addOpImm("send", cout, gc.materializeSlot(sl, nil))
 			gc.chainOn(cout, s)
-			if first && ch.lastRecv != nil {
-				gc.g.AddOrder(s, ch.lastRecv)
+			if first {
+				if ch.lastRecv != nil {
+					gc.g.AddOrder(s, ch.lastRecv)
+				}
+				if gc.lastK != nil {
+					gc.g.AddOrder(s, gc.lastK)
+				}
 			}
 			first = false
 		}

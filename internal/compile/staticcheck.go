@@ -1,0 +1,45 @@
+package compile
+
+import (
+	"fmt"
+
+	"queuemachine/internal/occam"
+)
+
+// maxDataWords bounds the static data segment (4 MiB of words). Each vector
+// is already capped by sema; this stops a short program from summing many
+// large vectors into an allocation every consumer of the object must make.
+const maxDataWords = 1 << 20
+
+// checkStatic runs the compiler's whole-program sanity checks on the
+// original (pre-desugar) AST, so positions and shapes match the source.
+func checkStatic(prog *occam.Program) error {
+	return checkTopLevelChannels(prog.Body)
+}
+
+// checkTopLevelChannels rejects a channel operation the initial thread
+// executes unconditionally with no enclosing par: there is no other thread
+// to rendezvous with, so the operation can never complete. Only that
+// provable subset is flagged — anything under a par, an if, a while, a
+// replicator, or inside a proc body (whose pairing depends on the call
+// site) is left to run-time deadlock detection.
+func checkTopLevelChannels(p occam.Process) error {
+	switch n := p.(type) {
+	case *occam.Scope:
+		return checkTopLevelChannels(n.Body)
+	case *occam.Seq:
+		if n.Rep != nil {
+			return nil
+		}
+		for _, b := range n.Body {
+			if err := checkTopLevelChannels(b); err != nil {
+				return err
+			}
+		}
+	case *occam.Input:
+		return fmt.Errorf("compile: %v: receive on %q outside any par has no partner and can never complete", n.P, n.Chan.Name)
+	case *occam.Output:
+		return fmt.Errorf("compile: %v: send on %q outside any par has no partner and can never complete", n.P, n.Chan.Name)
+	}
+	return nil
+}

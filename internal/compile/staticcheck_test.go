@@ -1,0 +1,45 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStaticChecks(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"top-level send",
+			"chan c:\nc ! 1\n", "no partner"},
+		{"top-level receive",
+			"chan c:\nvar x:\nc ? x\n", "no partner"},
+		{"top-level op in seq",
+			"chan c:\nvar x:\nseq\n  x := 1\n  c ! x\n", "no partner"},
+		{"data segment cap",
+			"var a[1048576], b[1048576]:\nskip\n", "word limit"},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src, Options{}); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want %q", c.name, err, c.want)
+		}
+	}
+
+	// The check flags only the provable subset: conditional or replicated
+	// contexts and proc bodies are left to run-time detection, and ops
+	// under a par are legal.
+	ok := []struct{ name, src string }{
+		{"under if",
+			"chan c:\nvar x:\nif\n  x = 1\n    c ! 1\n"},
+		{"under while",
+			"chan c:\nvar x:\nwhile x > 0\n  c ? x\n"},
+		{"under replicated seq",
+			"chan c:\nvar x:\nseq i = [0 for 0]\n  c ! i\n"},
+		{"in proc body",
+			"chan c:\nproc p() =\n  c ! 1\nvar x:\npar\n  p()\n  c ? x\n"},
+		{"paired under par",
+			"chan c:\nvar x:\npar\n  c ! 7\n  c ? x\n"},
+	}
+	for _, c := range ok {
+		if _, err := Compile(c.src, Options{}); err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+	}
+}

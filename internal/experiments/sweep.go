@@ -14,16 +14,20 @@ import (
 	"queuemachine/internal/workloads"
 )
 
-// SweepBenchmarks is the Chapter 6 suite by short name, the workload corpus
-// of the scheduler design-space sweep. Every run's answer is verified
-// against the workload's bit-exact reference before its cycle count is
-// admitted into the report.
+// SweepBenchmarks is the workload corpus of the scheduler design-space
+// sweep by short name: the Chapter 6 suite plus the second-generation
+// programs. Every run's answer is verified against the workload's bit-exact
+// reference before its cycle count is admitted into the report.
 func SweepBenchmarks() map[string]workloads.Workload {
 	return map[string]workloads.Workload{
 		"matmul":     workloads.MatMul(8),
 		"fft":        workloads.FFT(6),
 		"cholesky":   workloads.Cholesky(8),
 		"congruence": workloads.Congruence(8),
+		"bitonic":    workloads.Bitonic(4),
+		"lu":         workloads.LU(6),
+		"stencil":    workloads.Stencil(16, 4),
+		"chain":      workloads.Chain(24),
 	}
 }
 
@@ -61,12 +65,14 @@ func DefaultSweepSpec() SweepSpec {
 	}
 }
 
-// SmokeSweepSpec is the CI smoke grid: two benchmarks, three policies, two
-// machine sizes — small enough for a report-only CI job, broad enough to
-// exercise every policy code path beyond the FIFO baseline.
+// SmokeSweepSpec is the CI smoke grid: three benchmarks (one of them
+// channel-bound), three policies, two machine sizes — small enough for a
+// report-only CI job, broad enough to exercise every policy code path
+// beyond the FIFO baseline on both compute- and communication-dominated
+// programs.
 func SmokeSweepSpec() SweepSpec {
 	return SweepSpec{
-		Benchmarks: []string{"matmul", "fft"},
+		Benchmarks: []string{"matmul", "fft", "chain"},
 		Policies:   []string{sched.FIFO, sched.Locality, sched.Steal},
 		PECounts:   []int{2, 8},
 	}

@@ -1,0 +1,285 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"queuemachine/internal/occam"
+)
+
+func runSrc(t *testing.T, src string) (*State, error) {
+	t.Helper()
+	prog, err := occam.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return Run(prog)
+}
+
+func mustRun(t *testing.T, src string) *State {
+	t.Helper()
+	st, err := runSrc(t, src)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return st
+}
+
+func vecOf(t *testing.T, st *State, name string) []int32 {
+	t.Helper()
+	v, err := st.VectorByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestChannelRendezvous(t *testing.T) {
+	st := mustRun(t, `var v[1], x:
+chan c:
+seq
+  par
+    c ! 6 * 7
+    c ? x
+  v[0] := x
+`)
+	if got := vecOf(t, st, "v")[0]; got != 42 {
+		t.Errorf("v[0] = %d, want 42", got)
+	}
+}
+
+func TestChannelPipelineOrder(t *testing.T) {
+	// Sends arrive in order on one channel; values funneled to a vector.
+	st := mustRun(t, `var v[3], a, b, x:
+chan c:
+seq
+  par
+    seq
+      c ! 10
+      c ! 20
+      c ! 30
+    seq
+      c ? a
+      c ? b
+      c ? x
+  v[0] := a
+  v[1] := b
+  v[2] := x
+`)
+	v := vecOf(t, st, "v")
+	if v[0] != 10 || v[1] != 20 || v[2] != 30 {
+		t.Errorf("v = %v, want [10 20 30]", v)
+	}
+}
+
+func TestChannelBidirectional(t *testing.T) {
+	// Request/response between two branches over two channels.
+	st := mustRun(t, `var v[1], req, resp:
+chan c, d:
+seq
+  par
+    seq
+      c ! 5
+      d ? resp
+    seq
+      c ? req
+      d ! req * req
+  v[0] := resp
+`)
+	if got := vecOf(t, st, "v")[0]; got != 25 {
+		t.Errorf("v[0] = %d, want 25", got)
+	}
+}
+
+func TestChannelVectorElements(t *testing.T) {
+	st := mustRun(t, `var v[2], x, y:
+chan c[2]:
+seq
+  par
+    seq
+      c[0] ! 7
+      c[1] ! 9
+    seq
+      c[0] ? x
+      c[1] ? y
+  v[0] := x
+  v[1] := y
+`)
+	v := vecOf(t, st, "v")
+	if v[0] != 7 || v[1] != 9 {
+		t.Errorf("v = %v, want [7 9]", v)
+	}
+}
+
+func TestChannelInsideWhile(t *testing.T) {
+	// A bounded producer/consumer loop: channel operations inside while
+	// bodies exercise blocking at arbitrary nesting depth.
+	st := mustRun(t, `var v[1], i, j, acc, x:
+chan c:
+seq
+  acc := 0
+  par
+    seq
+      i := 0
+      while i < 5
+        seq
+          c ! i * i
+          i := i + 1
+    seq
+      j := 0
+      while j < 5
+        seq
+          c ? x
+          acc := acc + x
+          j := j + 1
+  v[0] := acc
+`)
+	if got := vecOf(t, st, "v")[0]; got != 0+1+4+9+16 {
+		t.Errorf("acc = %d, want 30", got)
+	}
+}
+
+func TestChannelNestedPar(t *testing.T) {
+	// A communicating PAR nested inside a branch of another PAR.
+	st := mustRun(t, `var v[2], x, y:
+chan c, d:
+seq
+  par
+    seq
+      par
+        d ! 3
+        d ? y
+      c ! y + 1
+    c ? x
+  v[0] := x
+  v[1] := y
+`)
+	v := vecOf(t, st, "v")
+	if v[0] != 4 || v[1] != 3 {
+		t.Errorf("v = %v, want [4 3]", v)
+	}
+}
+
+func TestChannelThreeWayChain(t *testing.T) {
+	// Three branches in a relay chain: values flow 0 -> 1 -> 2.
+	st := mustRun(t, `var v[1], a, b:
+chan c, d:
+seq
+  par
+    c ! 11
+    seq
+      c ? a
+      d ! a + 1
+    seq
+      d ? b
+  v[0] := b
+`)
+	if got := vecOf(t, st, "v")[0]; got != 12 {
+		t.Errorf("v[0] = %d, want 12", got)
+	}
+}
+
+func TestChannelDeadlockDetected(t *testing.T) {
+	// Both branches send: nobody receives, a certain rendezvous deadlock.
+	_, err := runSrc(t, `chan c:
+par
+  c ! 1
+  c ! 2
+`)
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 2 {
+		t.Errorf("blocked = %v, want two stuck threads", de.Blocked)
+	}
+}
+
+func TestChannelCrossedOrderDeadlock(t *testing.T) {
+	// Classic crossed rendezvous: A does c! then d!, B does d? after c?
+	// is fine — but B doing d! first while A waits on c! deadlocks.
+	_, err := runSrc(t, `var x, y:
+chan c, d:
+par
+  seq
+    c ! 1
+    d ? x
+  seq
+    d ! 2
+    c ? y
+`)
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %v, want DeadlockError", err)
+	}
+}
+
+func TestChannelInProcRefused(t *testing.T) {
+	_, err := runSrc(t, `var x:
+chan c:
+proc send(value v) =
+  c ! v
+par
+  send(1)
+  c ? x
+`)
+	if err == nil || !strings.Contains(err.Error(), "inside procedures") {
+		t.Errorf("error %v, want procedure refusal", err)
+	}
+}
+
+func TestChannelVectorIndexOutOfBounds(t *testing.T) {
+	// The index arrives through a variable: a constant 5 would already be
+	// rejected by sema's static bounds check.
+	_, err := runSrc(t, `var x, i:
+chan c[2]:
+seq
+  i := 5
+  par
+    c[i] ! 1
+    c[0] ? x
+`)
+	if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("error %v, want bounds error", err)
+	}
+}
+
+func TestReplicatedParCommunicating(t *testing.T) {
+	// Each instance sends its index on its own channel element; a single
+	// collector branch receives them all in index order.
+	st := mustRun(t, `def n = 4:
+var v[n], k, x:
+chan c[n]:
+seq
+  par
+    par i = [0 for n]
+      c[i] ! (i * 10) + 1
+    seq
+      k := 0
+      while k < n
+        seq
+          c[k] ? x
+          v[k] := x
+          k := k + 1
+`)
+	v := vecOf(t, st, "v")
+	for i, want := range []int32{1, 11, 21, 31} {
+		if v[i] != want {
+			t.Errorf("v[%d] = %d, want %d", i, v[i], want)
+		}
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	prog, err := occam.Parse("var x, i, j:\nseq\n  i := 0\n  while i < 1000\n    seq\n      j := 0\n      while j < 1000\n        seq\n          x := x + 1\n          j := j + 1\n      i := i + 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLimited(prog, 10_000); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("error %v, want step-budget error", err)
+	}
+	if _, err := RunLimited(prog, 0); err != nil {
+		t.Errorf("unlimited run failed: %v", err)
+	}
+}

@@ -1,0 +1,436 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"queuemachine/internal/occam"
+)
+
+// This file adds channel communication to the reference interpreter. The
+// sequential evaluator in interp.go cannot express a rendezvous, so a PAR
+// whose branches communicate is executed by a deterministic cooperative
+// scheduler instead: every branch becomes a thread (a goroutine that runs
+// only while it holds the baton), threads switch only at channel operations,
+// and the scheduler matches blocked senders with blocked receivers in FIFO
+// order. Exactly one thread runs at any instant, so the shared store needs
+// no locking and execution is fully deterministic: the runnable queue is
+// served in thread-creation order.
+//
+// PARs whose branches perform no channel operations keep the plain
+// sequential execution of interp.go (OCCAM's disjoint-write rule makes the
+// two equivalent), so programs without channels behave exactly as before.
+//
+// Channel operations inside procedure bodies are refused: the interpreter
+// binds parameters by shadowing a shared store, which is only sound while
+// calls cannot interleave, and threads switch only at channel operations.
+// Keeping channels out of procedures preserves that invariant. The random
+// program generator honors the same restriction.
+
+// DeadlockError reports a rendezvous deadlock: live threads remain but none
+// is runnable. Blocked lists one human-readable line per stuck thread.
+type DeadlockError struct {
+	Blocked []string
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("interp: deadlock: %s", strings.Join(e.Blocked, "; "))
+}
+
+// chanKey identifies one rendezvous channel: a scalar channel symbol, or
+// one element of a channel vector.
+type chanKey struct {
+	sym *occam.Symbol
+	idx int32
+}
+
+func (k chanKey) String() string {
+	if k.sym.Kind == occam.SymVecChan {
+		return fmt.Sprintf("%s[%d]", k.sym.Name, k.idx)
+	}
+	return k.sym.Name
+}
+
+// commReq is one blocked communication end.
+type commReq struct {
+	t   *thread
+	val int32             // value carried by a blocked send
+	dst func(int32) error // assignment performed when a recv matches
+}
+
+// chanState holds the FIFO wait queues of one channel.
+type chanState struct {
+	sendQ []*commReq
+	recvQ []*commReq
+}
+
+// thread is one cooperative thread of control.
+type thread struct {
+	id     int
+	resume chan bool // buffered(1); true = run, false = abort
+	// waiting is the count of unfinished child threads a parWait blocks on.
+	waiting int
+	parent  *thread
+	// blocked describes what the thread is stuck on, for deadlock reports.
+	blocked string
+}
+
+// threadAbort unwinds a thread goroutine after a global failure.
+type threadAbort struct{}
+
+// scheduler serializes threads and matches rendezvous.
+type scheduler struct {
+	runnable []*thread
+	parked   map[*thread]bool
+	live     int
+	chans    map[chanKey]*chanState
+	yield    chan struct{}
+	err      error
+	nextID   int
+	// rootWaiting counts unfinished top-level branches when the scheduler
+	// owner is the non-thread root process.
+	rootWaiting int
+}
+
+func newScheduler() *scheduler {
+	return &scheduler{
+		parked: map[*thread]bool{},
+		chans:  map[chanKey]*chanState{},
+		yield:  make(chan struct{}),
+	}
+}
+
+func (s *scheduler) chanState(k chanKey) *chanState {
+	cs, ok := s.chans[k]
+	if !ok {
+		cs = &chanState{}
+		s.chans[k] = cs
+	}
+	return cs
+}
+
+func (s *scheduler) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// spawn registers a new runnable thread executing body.
+func (s *scheduler) spawn(parent *thread, body func(*thread) error) *thread {
+	t := &thread{id: s.nextID, resume: make(chan bool, 1), parent: parent}
+	s.nextID++
+	s.live++
+	s.runnable = append(s.runnable, t)
+	go func() {
+		if !<-t.resume {
+			return
+		}
+		aborted := false
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, ok := r.(threadAbort); !ok {
+						panic(r)
+					}
+					aborted = true
+				}
+			}()
+			if err := body(t); err != nil {
+				s.fail(err)
+			}
+		}()
+		if aborted {
+			// The scheduler loop has already returned; do not touch its
+			// state or signal the (unread) yield channel.
+			return
+		}
+		s.finish(t)
+		s.yield <- struct{}{}
+	}()
+	return t
+}
+
+// finish retires a thread and wakes its parent when it was the last child.
+func (s *scheduler) finish(t *thread) {
+	s.live--
+	if t.parent != nil {
+		t.parent.waiting--
+		if t.parent.waiting == 0 && s.parked[t.parent] {
+			s.wake(t.parent)
+		}
+	} else {
+		s.rootWaiting--
+	}
+}
+
+// wake moves a parked thread back to the runnable queue.
+func (s *scheduler) wake(t *thread) {
+	delete(s.parked, t)
+	t.blocked = ""
+	s.runnable = append(s.runnable, t)
+}
+
+// block parks the current thread and hands the baton back to the scheduler
+// loop; it returns when the thread is resumed, and unwinds on abort.
+func (s *scheduler) block(t *thread, why string) {
+	t.blocked = why
+	s.parked[t] = true
+	s.yield <- struct{}{}
+	if !<-t.resume {
+		panic(threadAbort{})
+	}
+}
+
+// loop drains the runnable queue. It returns the first error, a deadlock
+// error when live threads remain with nothing runnable, or nil once done
+// is satisfied (all threads finished, or the owner's children finished).
+func (s *scheduler) loop(done func() bool) error {
+	for {
+		if s.err != nil {
+			s.abort()
+			return s.err
+		}
+		if done() {
+			return nil
+		}
+		if len(s.runnable) == 0 {
+			err := s.deadlock()
+			s.abort()
+			return err
+		}
+		t := s.runnable[0]
+		s.runnable = s.runnable[1:]
+		t.resume <- true
+		<-s.yield
+	}
+}
+
+// deadlock builds the structured error describing every stuck thread.
+func (s *scheduler) deadlock() error {
+	var lines []string
+	for t := range s.parked {
+		lines = append(lines, fmt.Sprintf("thread %d %s", t.id, t.blocked))
+	}
+	sort.Strings(lines)
+	if len(lines) == 0 {
+		lines = []string{"no live threads are blocked (scheduler invariant broken)"}
+	}
+	return &DeadlockError{Blocked: lines}
+}
+
+// abort terminates every parked thread; runnable threads are told to abort
+// the moment they would have been resumed.
+func (s *scheduler) abort() {
+	for t := range s.parked {
+		delete(s.parked, t)
+		t.resume <- false
+	}
+	for _, t := range s.runnable {
+		t.resume <- false
+	}
+	s.runnable = nil
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter integration.
+
+// hasChanOps reports whether the process itself performs channel I/O.
+// Calls are not traversed: channel operations inside procedure bodies are
+// refused at execution time, so a call can never introduce one.
+func hasChanOps(p occam.Process) bool {
+	switch n := p.(type) {
+	case *occam.Input, *occam.Output:
+		return true
+	case *occam.Scope:
+		return hasChanOps(n.Body)
+	case *occam.Seq:
+		for _, b := range n.Body {
+			if hasChanOps(b) {
+				return true
+			}
+		}
+	case *occam.Par:
+		for _, b := range n.Body {
+			if hasChanOps(b) {
+				return true
+			}
+		}
+	case *occam.If:
+		for _, g := range n.Branches {
+			if hasChanOps(g.Body) {
+				return true
+			}
+		}
+	case *occam.While:
+		return hasChanOps(n.Body)
+	}
+	return false
+}
+
+// runParThreaded executes a communicating PAR: every branch becomes a
+// thread. When the caller is itself a thread (nested PAR), it parks until
+// its children finish; when the caller is the root process, it runs the
+// scheduler loop until its top-level branches are done.
+func (in *interp) runParThreaded(branches []occam.Process) error {
+	if len(branches) == 0 {
+		return nil
+	}
+	if in.sch == nil {
+		in.sch = newScheduler()
+	}
+	s := in.sch
+	spawnAll := func(parent *thread) {
+		for _, b := range branches {
+			b := b
+			s.spawn(parent, func(t *thread) error {
+				child := &interp{state: in.state, sch: s, cur: t, callDepth: in.callDepth}
+				return child.process(b)
+			})
+		}
+	}
+	if in.cur != nil {
+		in.cur.waiting += len(branches)
+		spawnAll(in.cur)
+		s.block(in.cur, "waiting for parallel branches")
+		return nil // errors surface through the scheduler owner
+	}
+	s.rootWaiting += len(branches)
+	spawnAll(nil)
+	err := s.loop(func() bool { return s.rootWaiting == 0 })
+	in.sch = nil // the PAR is fully drained; a later PAR starts fresh
+	return err
+}
+
+// runParReplicatedThreaded is the replicated-par counterpart: one thread
+// per instance, each with its own replicator binding. The replicator index
+// is bound per-instance before each body statement executes; because the
+// body may only read the index (the generator and OCCAM's disjointness rule
+// forbid writing it), rebinding the shared symbol per resume is safe only
+// while instances cannot interleave — so instances that communicate carry
+// their own index copy via a per-thread override.
+func (in *interp) runParReplicatedThreaded(rep *occam.Replicator, body occam.Process) error {
+	from, err := in.expr(rep.From)
+	if err != nil {
+		return err
+	}
+	count, err := in.expr(rep.Count)
+	if err != nil {
+		return err
+	}
+	if in.sch == nil {
+		in.sch = newScheduler()
+	}
+	s := in.sch
+	spawnAll := func(parent *thread) {
+		for k := int32(0); k < count; k++ {
+			k := k
+			s.spawn(parent, func(t *thread) error {
+				child := &interp{state: in.state, sch: s, cur: t, callDepth: in.callDepth,
+					repOverride: map[*occam.Symbol]int32{rep.Sym: from + k}}
+				if in.repOverride != nil {
+					for sym, v := range in.repOverride {
+						if _, ok := child.repOverride[sym]; !ok {
+							child.repOverride[sym] = v
+						}
+					}
+				}
+				return child.process(body)
+			})
+		}
+	}
+	if in.cur != nil {
+		in.cur.waiting += int(count)
+		spawnAll(in.cur)
+		if count > 0 {
+			s.block(in.cur, "waiting for replicated par instances")
+		}
+		return nil
+	}
+	s.rootWaiting += int(count)
+	spawnAll(nil)
+	err = s.loop(func() bool { return s.rootWaiting == 0 })
+	in.sch = nil
+	return err
+}
+
+// chanKeyOf resolves a channel reference to its rendezvous identity.
+func (in *interp) chanKeyOf(ref *occam.VarRef) (chanKey, error) {
+	switch ref.Sym.Kind {
+	case occam.SymChan:
+		return chanKey{sym: ref.Sym}, nil
+	case occam.SymVecChan:
+		idx, err := in.expr(ref.Index)
+		if err != nil {
+			return chanKey{}, err
+		}
+		if idx < 0 || int(idx) >= ref.Sym.Size {
+			return chanKey{}, fmt.Errorf("interp: %v: channel %s[%d] out of bounds (size %d)",
+				ref.P, ref.Name, idx, ref.Sym.Size)
+		}
+		return chanKey{sym: ref.Sym, idx: idx}, nil
+	default:
+		return chanKey{}, fmt.Errorf("interp: %v: channel parameters are outside the reference interpreter", ref.P)
+	}
+}
+
+// output executes `c ! e`.
+func (in *interp) output(n *occam.Output) error {
+	if in.callDepth > 0 {
+		return fmt.Errorf("interp: %v: channel operations inside procedures are outside the reference interpreter", n.P)
+	}
+	v, err := in.expr(n.Value)
+	if err != nil {
+		return err
+	}
+	key, err := in.chanKeyOf(n.Chan)
+	if err != nil {
+		return err
+	}
+	if in.cur == nil || in.sch == nil {
+		return &DeadlockError{Blocked: []string{
+			fmt.Sprintf("root process sends on %s with no parallel partner", key)}}
+	}
+	cs := in.sch.chanState(key)
+	if len(cs.recvQ) > 0 {
+		req := cs.recvQ[0]
+		cs.recvQ = cs.recvQ[1:]
+		if err := req.dst(v); err != nil {
+			return err
+		}
+		in.sch.wake(req.t)
+		return nil
+	}
+	cs.sendQ = append(cs.sendQ, &commReq{t: in.cur, val: v})
+	in.sch.block(in.cur, fmt.Sprintf("blocked sending on %s", key))
+	return nil
+}
+
+// input executes `c ? x`.
+func (in *interp) input(n *occam.Input) error {
+	if in.callDepth > 0 {
+		return fmt.Errorf("interp: %v: channel operations inside procedures are outside the reference interpreter", n.P)
+	}
+	key, err := in.chanKeyOf(n.Chan)
+	if err != nil {
+		return err
+	}
+	if in.cur == nil || in.sch == nil {
+		return &DeadlockError{Blocked: []string{
+			fmt.Sprintf("root process receives on %s with no parallel partner", key)}}
+	}
+	dst := func(v int32) error { return in.assign(n.Target, v) }
+	cs := in.sch.chanState(key)
+	if len(cs.sendQ) > 0 {
+		req := cs.sendQ[0]
+		cs.sendQ = cs.sendQ[1:]
+		if err := dst(req.val); err != nil {
+			return err
+		}
+		in.sch.wake(req.t)
+		return nil
+	}
+	cs.recvQ = append(cs.recvQ, &commReq{t: in.cur, dst: dst})
+	in.sch.block(in.cur, fmt.Sprintf("blocked receiving on %s", key))
+	return nil
+}

@@ -21,6 +21,10 @@ import (
 type State struct {
 	scalars map[*occam.Symbol]int32
 	vectors map[*occam.Symbol][]int32
+	// steps counts executed statements; when maxSteps is non-zero,
+	// exceeding it aborts the run with a structured error (the global
+	// guard fuzzing relies on — per-loop guards cannot bound nesting).
+	steps, maxSteps int64
 }
 
 // NewState builds an empty store.
@@ -51,7 +55,15 @@ func (s *State) VectorByName(name string) ([]int32, error) {
 
 // Run interprets a program and returns the final store.
 func Run(prog *occam.Program) (*State, error) {
+	return RunLimited(prog, 0)
+}
+
+// RunLimited interprets a program with a global statement budget; maxSteps
+// of zero means unlimited. Fuzzing uses the budget to bound nested loops
+// that the per-while iteration guard cannot.
+func RunLimited(prog *occam.Program, maxSteps int64) (*State, error) {
 	st := NewState()
+	st.maxSteps = maxSteps
 	in := &interp{state: st}
 	if err := in.process(prog.Body); err != nil {
 		return nil, err
@@ -61,6 +73,16 @@ func Run(prog *occam.Program) (*State, error) {
 
 type interp struct {
 	state *State
+	// sch and cur are set while a communicating PAR executes under the
+	// cooperative scheduler (exec.go); cur is nil in the root process.
+	sch *scheduler
+	cur *thread
+	// callDepth tracks procedure nesting: channel operations are refused
+	// inside calls (see exec.go).
+	callDepth int
+	// repOverride carries per-thread replicator bindings for threaded
+	// replicated-par instances, where the shared store would race.
+	repOverride map[*occam.Symbol]int32
 }
 
 func (in *interp) vectorOf(sym *occam.Symbol) []int32 {
@@ -73,6 +95,10 @@ func (in *interp) vectorOf(sym *occam.Symbol) []int32 {
 }
 
 func (in *interp) process(p occam.Process) error {
+	in.state.steps++
+	if in.state.maxSteps > 0 && in.state.steps > in.state.maxSteps {
+		return fmt.Errorf("interp: %v: exceeded the %d-statement budget", p.ProcPos(), in.state.maxSteps)
+	}
 	switch n := p.(type) {
 	case *occam.Skip:
 		return nil
@@ -104,10 +130,26 @@ func (in *interp) process(p occam.Process) error {
 		}
 		return nil
 	case *occam.Par:
-		// OCCAM guarantees disjoint writes across parallel components,
-		// so sequential evaluation computes the same final store.
+		// Branches that communicate need real interleaving: run them as
+		// cooperative threads under the rendezvous scheduler (exec.go).
+		// Otherwise OCCAM guarantees disjoint writes across parallel
+		// components, so sequential evaluation computes the same final
+		// store.
 		if n.Rep != nil {
+			if hasChanOps(n.Body[0]) {
+				return in.runParReplicatedThreaded(n.Rep, n.Body[0])
+			}
 			return in.replicated(n.Rep, n.Body[0])
+		}
+		threaded := false
+		for _, b := range n.Body {
+			if hasChanOps(b) {
+				threaded = true
+				break
+			}
+		}
+		if threaded {
+			return in.runParThreaded(n.Body)
 		}
 		for _, b := range n.Body {
 			if err := in.process(b); err != nil {
@@ -144,8 +186,12 @@ func (in *interp) process(p occam.Process) error {
 		return nil // no guard true behaves as skip
 	case *occam.Call:
 		return in.call(n)
-	case *occam.Input, *occam.Output, *occam.Wait:
-		return fmt.Errorf("interp: %v: channel and real-time operations are outside the reference interpreter", p.ProcPos())
+	case *occam.Input:
+		return in.input(n)
+	case *occam.Output:
+		return in.output(n)
+	case *occam.Wait:
+		return fmt.Errorf("interp: %v: real-time operations are outside the reference interpreter", p.ProcPos())
 	}
 	return fmt.Errorf("interp: unknown process %T", p)
 }
@@ -160,7 +206,14 @@ func (in *interp) replicated(rep *occam.Replicator, body occam.Process) error {
 		return err
 	}
 	for k := int32(0); k < count; k++ {
-		in.state.scalars[rep.Sym] = from + k
+		// Inside a threaded replicated-par instance, replicator bindings
+		// live in the per-thread override map so sibling instances that
+		// interleave at channel operations cannot race on them.
+		if in.repOverride != nil {
+			in.repOverride[rep.Sym] = from + k
+		} else {
+			in.state.scalars[rep.Sym] = from + k
+		}
 		if err := in.process(body); err != nil {
 			return err
 		}
@@ -219,6 +272,9 @@ func (in *interp) expr(e occam.Expr) (int32, error) {
 			return n.Sym.Value, nil
 		}
 		if n.Index == nil {
+			if v, ok := in.repOverride[n.Sym]; ok {
+				return v, nil
+			}
 			return in.state.scalars[n.Sym], nil
 		}
 		idx, err := in.expr(n.Index)
@@ -237,6 +293,8 @@ func (in *interp) expr(e occam.Expr) (int32, error) {
 // call implements the copy-in/copy-out procedure semantics. Parameter
 // bindings are saved and restored around the body so recursion works.
 func (in *interp) call(c *occam.Call) error {
+	in.callDepth++
+	defer func() { in.callDepth-- }()
 	proc := c.Sym.Proc
 	// Evaluate every argument in the caller's frame before any parameter
 	// is (re)bound.

@@ -125,10 +125,12 @@ seq
 
 func TestErrors(t *testing.T) {
 	cases := []struct{ src, want string }{
-		{"var v[2]:\nv[5] := 1\n", "out of bounds"},
-		{"var v[2], x:\nx := v[9]\n", "out of bounds"},
-		{"chan c:\nc ! 1\n", "outside the reference interpreter"},
-		{"chan c:\nvar x:\nc ? x\n", "outside the reference interpreter"},
+		// Runtime bounds checks need a non-constant index: sema rejects
+		// constant out-of-range subscripts before the program ever runs.
+		{"var v[2], i:\nseq\n  i := 5\n  v[i] := 1\n", "out of bounds"},
+		{"var v[2], x, i:\nseq\n  i := 9\n  x := v[i]\n", "out of bounds"},
+		{"chan c:\nc ! 1\n", "deadlock"},
+		{"chan c:\nvar x:\nc ? x\n", "deadlock"},
 		{"var x:\nwait now after 5\n", "outside the reference interpreter"},
 		{"var x:\nx := now\n", "outside the reference interpreter"},
 		{"var x:\nwhile 1 = 1\n  x := x + 1\n", "million"},

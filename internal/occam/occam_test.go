@@ -259,7 +259,19 @@ func TestParseErrors(t *testing.T) {
 		{"skip extra\n", "skip takes nothing"},
 		{"wait 10\n", "now after"},
 		{"var x:\nx := $\n", "unexpected character"},
-		{"var x:\nx := 99999999999\n", "too large"},
+		{"var x:\nx := 99999999999\n", "out of range"},
+		// 2^31+1 wrapped silently before the lexer bound was tightened;
+		// 2^31 itself stays legal so -2147483648 can be written.
+		{"var x:\nx := 2147483649\n", "out of range"},
+		{"var v[2000000]:\nskip\n", "element limit"},
+		// Constant subscripts are bounds-checked statically, including
+		// through def folding and on channel vectors.
+		{"var v[2]:\nv[5] := 1\n", "out of range"},
+		{"var v[2], x:\nx := v[2]\n", "out of range"},
+		{"var v[2]:\nv[-1] := 1\n", "out of range"},
+		{"def n = 4:\nvar v[n]:\nv[n] := 1\n", "out of range"},
+		{"chan c[2]:\npar\n  c[2] ! 1\n  skip\n", "out of range"},
+		{"var v[byte 4]:\nv[byte 4] := 1\n", "out of range"},
 	}
 	for _, c := range cases {
 		parseErr(t, c.src, c.want)

@@ -143,6 +143,9 @@ func (a *analyzer) decl(d *Decl) error {
 				if v < 1 {
 					return fmt.Errorf("occam: %v: vector %q has non-positive size %d", d.P, item.Name, v)
 				}
+				if v > maxVectorElems {
+					return fmt.Errorf("occam: %v: vector %q has size %d, above the %d-element limit", d.P, item.Name, v, maxVectorElems)
+				}
 				size = int(v)
 				switch {
 				case d.Kind == DeclChan:
@@ -226,10 +229,34 @@ func (a *analyzer) assignable(ref *VarRef) error {
 		if err := a.byteAgreement(ref, s); err != nil {
 			return err
 		}
-		return a.expr(ref.Index)
+		if err := a.expr(ref.Index); err != nil {
+			return err
+		}
+		return a.constIndexInRange(ref, s)
 	default:
 		return fmt.Errorf("occam: %v: cannot assign to %s %q", ref.P, s.Kind, ref.Name)
 	}
+}
+
+// maxVectorElems bounds a single vector declaration so a short source text
+// cannot demand an arbitrarily large data segment from every consumer.
+const maxVectorElems = 1 << 20
+
+// constIndexInRange rejects a subscript that folds to a constant provably
+// outside a vector whose size is known statically. Non-constant subscripts
+// remain a runtime matter, and parameter vectors have no static size.
+func (a *analyzer) constIndexInRange(ref *VarRef, s *Symbol) error {
+	if s.Size == 0 {
+		return nil
+	}
+	v, err := a.constExpr(ref.Index)
+	if err != nil {
+		return nil
+	}
+	if v < 0 || int64(v) >= int64(s.Size) {
+		return fmt.Errorf("occam: %v: index %d out of range for vector %q [size %d]", ref.P, v, ref.Name, s.Size)
+	}
+	return nil
 }
 
 // byteAgreement requires `byte` subscripts exactly on byte vectors.
@@ -261,7 +288,10 @@ func (a *analyzer) channelRef(ref *VarRef) error {
 		if ref.Index == nil {
 			return fmt.Errorf("occam: %v: channel vector %q needs a subscript", ref.P, ref.Name)
 		}
-		return a.expr(ref.Index)
+		if err := a.expr(ref.Index); err != nil {
+			return err
+		}
+		return a.constIndexInRange(ref, s)
 	default:
 		return fmt.Errorf("occam: %v: %q is a %s, not a channel", ref.P, ref.Name, s.Kind)
 	}
@@ -298,7 +328,10 @@ func (a *analyzer) expr(e Expr) error {
 			if err := a.byteAgreement(n, s); err != nil {
 				return err
 			}
-			return a.expr(n.Index)
+			if err := a.expr(n.Index); err != nil {
+				return err
+			}
+			return a.constIndexInRange(n, s)
 		default:
 			return fmt.Errorf("occam: %v: %s %q is not a value", n.P, s.Kind, n.Name)
 		}

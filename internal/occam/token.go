@@ -123,8 +123,10 @@ body:
 			var v int64
 			for _, d := range raw[start:i] {
 				v = v*10 + int64(d-'0')
-				if v > 1<<32 {
-					return nil, fmt.Errorf("occam: line %d: number %q too large", num, raw[start:i])
+				// 1<<31 itself is allowed so that -2147483648 lexes as
+				// minus + literal; anything beyond would silently wrap.
+				if v > 1<<31 {
+					return nil, fmt.Errorf("occam: line %d: number %q out of range", num, raw[start:i])
 				}
 			}
 			l.toks = append(l.toks, token{kind: tokNumber, text: raw[start:i], val: int32(v), col: start})

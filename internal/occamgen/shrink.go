@@ -1,0 +1,85 @@
+package occamgen
+
+import "strings"
+
+// maxShrinkEvals bounds the number of predicate evaluations one Shrink
+// call may spend; each evaluation runs the full differential oracle, so
+// the cap keeps shrinking to a few seconds even for large programs.
+const maxShrinkEvals = 400
+
+// Shrink minimizes a failing program by structural line-block deletion:
+// repeatedly remove an indentation block (a line plus every deeper line
+// under it) or replace it with skip, keeping a candidate whenever the
+// failure predicate still holds. The predicate receives candidate source
+// and reports whether it still exhibits the original failure; candidates
+// that fail differently (or not at all) are discarded. Returns the
+// smallest source found — at worst the input itself.
+func Shrink(src string, failsSame func(string) bool) string {
+	best := strings.Split(strings.TrimRight(src, "\n"), "\n")
+	evals := 0
+	try := func(candidate []string) bool {
+		if evals >= maxShrinkEvals {
+			return false
+		}
+		evals++
+		return failsSame(strings.Join(candidate, "\n") + "\n")
+	}
+	for improved := true; improved; {
+		improved = false
+		for i := 0; i < len(best) && evals < maxShrinkEvals; i++ {
+			end := blockEnd(best, i)
+			// First try deleting the block outright, then degrading it to
+			// skip (which preserves arity where a construct needs a body).
+			if cand := append(append([]string{}, best[:i]...), best[end:]...); try(cand) {
+				best = cand
+				improved = true
+				i--
+				continue
+			}
+			if end-i < 2 || !isStmtLine(best[i]) {
+				continue
+			}
+			cand := append([]string{}, best[:i]...)
+			cand = append(cand, indentOf(best[i])+"skip")
+			cand = append(cand, best[end:]...)
+			if try(cand) {
+				best = cand
+				improved = true
+			}
+		}
+	}
+	return strings.Join(best, "\n") + "\n"
+}
+
+// blockEnd returns the index one past the last line belonging to the
+// block opened at line i (every following line with strictly deeper
+// indentation).
+func blockEnd(lines []string, i int) int {
+	d := indentDepth(lines[i])
+	j := i + 1
+	for j < len(lines) && indentDepth(lines[j]) > d {
+		j++
+	}
+	return j
+}
+
+func indentDepth(line string) int {
+	return len(line) - len(strings.TrimLeft(line, " "))
+}
+
+func indentOf(line string) string {
+	return line[:indentDepth(line)]
+}
+
+// isStmtLine reports whether a line can be degraded to skip: declarations,
+// procedure headers and if-guards cannot.
+func isStmtLine(line string) bool {
+	t := strings.TrimSpace(line)
+	if t == "" || strings.HasSuffix(t, ":") || strings.HasSuffix(t, "=") {
+		return false
+	}
+	if strings.HasPrefix(t, "proc ") || strings.HasPrefix(t, "def ") {
+		return false
+	}
+	return true
+}

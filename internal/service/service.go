@@ -25,6 +25,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -151,8 +152,24 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Handler is the service's HTTP interface.
-func (s *Service) Handler() http.Handler { return s.mux }
+// Handler is the service's HTTP interface. Handlers run behind a recover
+// barrier: whatever bytes arrive, the answer is a structured 4xx document,
+// never a dropped connection — panics on the worker pool are caught
+// separately in execute.
+func (s *Service) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil && rec != http.ErrAbortHandler {
+				s.fails.Add(1)
+				// Best effort: if the handler already wrote a header this
+				// is a no-op on the status line.
+				writeJSON(w, http.StatusBadRequest,
+					map[string]string{"error": fmt.Sprintf("request rejected: %v", rec)})
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Shutdown stops admitting work and drains in-flight jobs, waiting up to
 // ctx's deadline. New requests are answered 503 immediately.
@@ -178,7 +195,18 @@ func (s *Service) execute(ctx context.Context, f func(context.Context) (any, err
 			ch <- outcome{nil, err}
 			return
 		}
-		v, err := f(ctx)
+		// A panic here is on a pool worker goroutine: unrecovered it takes
+		// the whole process down, and it is almost always a property of the
+		// submitted program, so answer it like any other rejected input.
+		v, err := func() (v any, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = &httpError{http.StatusUnprocessableEntity,
+						fmt.Sprintf("program rejected: %v", r)}
+				}
+			}()
+			return f(ctx)
+		}()
 		ch <- outcome{v, err}
 	})
 	if err != nil {

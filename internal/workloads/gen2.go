@@ -1,0 +1,323 @@
+package workloads
+
+// This file holds the second-generation workloads. Where the Chapter 6
+// programs measure the machine on dense numeric kernels, these four stress
+// the parts the thesis benchmarks leave quiet: data-dependent
+// compare-exchange parallelism (bitonic sort), triangular-solve dependence
+// chains (LU), iterative neighbour exchange (stencil), and a long
+// rendezvous pipeline that lives on the ring and the mcache
+// (producer-consumer chain).
+
+import (
+	"fmt"
+	"strings"
+
+	"queuemachine/internal/compile"
+)
+
+// ---------------------------------------------------------------------------
+// Bitonic sorting network: n = 2^logN keys, log²-ish stages, every
+// compare-exchange of a stage in one replicated par. The guard pair
+// (ascending/descending by the size bit) runs on boolean words, so `and`
+// composes the -1/0 comparison results bitwise.
+
+func bitonicInput(t int) int32 { return int32(((t+3)*(t+7))%101 - 50) }
+
+// Bitonic builds the 2^logN-key sorting network program.
+func Bitonic(logN int) Workload {
+	n := 1 << logN
+	src := fmt.Sprintf(`def n = %d:
+var v[n]:
+proc cex(value idx, value stride, value size) =
+  var p, a, b:
+  seq
+    p := idx >< stride
+    if
+      p > idx
+        seq
+          a := v[idx]
+          b := v[p]
+          if
+            ((idx /\ size) = 0) and (a > b)
+              seq
+                v[idx] := b
+                v[p] := a
+            ((idx /\ size) <> 0) and (a < b)
+              seq
+                v[idx] := b
+                v[p] := a
+seq
+  par t = [0 for n]
+    v[t] := (((t + 3) * (t + 7)) \ 101) - 50
+  var size, stride:
+  seq
+    size := 2
+    while size <= n
+      seq
+        stride := size / 2
+        while stride >= 1
+          seq
+            par idx = [0 for n]
+              cex(idx, stride, size)
+            stride := stride / 2
+        size := size * 2
+`, n)
+	return Workload{
+		Name:   fmt.Sprintf("bitonic-%d", n),
+		Source: src,
+		Check: func(art *compile.Artifact, data []int32) error {
+			return checkVector(art, data, "v", RefBitonic(logN))
+		},
+	}
+}
+
+// RefBitonic runs the identical network in Go.
+func RefBitonic(logN int) []int32 {
+	n := 1 << logN
+	v := make([]int32, n)
+	for t := range v {
+		v[t] = bitonicInput(t)
+	}
+	for size := 2; size <= n; size *= 2 {
+		for stride := size / 2; stride >= 1; stride /= 2 {
+			for idx := 0; idx < n; idx++ {
+				p := idx ^ stride
+				if p <= idx {
+					continue
+				}
+				a, b := v[idx], v[p]
+				up := idx&size == 0
+				if (up && a > b) || (!up && a < b) {
+					v[idx], v[p] = b, a
+				}
+			}
+		}
+	}
+	return v
+}
+
+// ---------------------------------------------------------------------------
+// LU decomposition (Doolittle, no pivoting) of an exactly decomposable
+// integer matrix A = L·U — unit lower-triangular integer L, integer U with
+// nonzero diagonal — so every division in the factorization is exact. The
+// compact result lands in lu: U on and above the diagonal, L (without its
+// unit diagonal) below. Each step k computes its U row and L column in
+// replicated pars, the triangular analogue of Cholesky's column fan-out.
+
+func luL(i, j int) int32 {
+	switch {
+	case i == j:
+		return 1
+	case j < i:
+		return int32((i+j)%3 - 1)
+	default:
+		return 0
+	}
+}
+
+func luU(i, j int) int32 {
+	switch {
+	case i == j:
+		return int32(i + 2)
+	case j > i:
+		return int32((2*i+j)%5 - 2)
+	default:
+		return 0
+	}
+}
+
+// RefLUA builds A = L·U.
+func RefLUA(n int) []int32 {
+	a := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for k := 0; k < n; k++ {
+				s += luL(i, k) * luU(k, j)
+			}
+			a[i*n+j] = s
+		}
+	}
+	return a
+}
+
+// RefLU gives the expected compact factorization.
+func RefLU(n int) []int32 {
+	lu := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j >= i {
+				lu[i*n+j] = luU(i, j)
+			} else {
+				lu[i*n+j] = luL(i, j)
+			}
+		}
+	}
+	return lu
+}
+
+// LU builds the n×n decomposition program.
+func LU(n int) Workload {
+	a := RefLUA(n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "def n = %d:\ndef nn = %d:\n", n, n*n)
+	b.WriteString(`var a[nn], lu[nn]:
+proc urow(value k, value j) =
+  var s, m:
+  seq
+    s := a[(k*n)+j]
+    m := 0
+    while m < k
+      seq
+        s := s - (lu[(k*n)+m] * lu[(m*n)+j])
+        m := m + 1
+    lu[(k*n)+j] := s
+proc lcol(value k, value i) =
+  var s, m:
+  seq
+    s := a[(i*n)+k]
+    m := 0
+    while m < k
+      seq
+        s := s - (lu[(i*n)+m] * lu[(m*n)+k])
+        m := m + 1
+    lu[(i*n)+k] := s / lu[(k*n)+k]
+seq
+`)
+	for i, v := range a {
+		fmt.Fprintf(&b, "  a[%d] := %d\n", i, v)
+	}
+	b.WriteString(`  var k:
+  seq
+    k := 0
+    while k < n
+      seq
+        par j = [k for n-k]
+          urow(k, j)
+        par i = [k+1 for (n-1)-k]
+          lcol(k, i)
+        k := k + 1
+`)
+	return Workload{
+		Name:   fmt.Sprintf("lu-%dx%d", n, n),
+		Source: b.String(),
+		Check: func(art *compile.Artifact, data []int32) error {
+			return checkVector(art, data, "lu", RefLU(n))
+		},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// 1-D stencil: `steps` sweeps of a three-point kernel over n cells,
+// ping-ponging between two buffers with one context per interior cell per
+// sweep. The kernel is pure adds/shifts so int32 wraparound is identical in
+// the Go reference; the boundary cells hold their initial values.
+
+func stencilInput(t int) int32 { return int32((t*13)%23 - 11) }
+
+// Stencil builds the n-cell, steps-sweep program; steps must be even so the
+// result lands back in the first buffer.
+func Stencil(n, steps int) Workload {
+	if steps%2 != 0 {
+		panic("workloads: stencil steps must be even")
+	}
+	src := fmt.Sprintf(`def n = %d:
+def half = %d:
+var va[n], vb[n]:
+proc cell(vec s, vec d, value i) =
+  d[i] := (s[i-1] + (2 * s[i])) + s[i+1]
+seq
+  par t = [0 for n]
+    seq
+      va[t] := ((t * 13) \ 23) - 11
+      vb[t] := ((t * 13) \ 23) - 11
+  var t:
+  seq
+    t := 0
+    while t < half
+      seq
+        par i = [1 for n-2]
+          cell(va, vb, i)
+        par i = [1 for n-2]
+          cell(vb, va, i)
+        t := t + 1
+`, n, steps/2)
+	return Workload{
+		Name:   fmt.Sprintf("stencil-%dx%d", n, steps),
+		Source: src,
+		Check: func(art *compile.Artifact, data []int32) error {
+			return checkVector(art, data, "va", RefStencil(n, steps))
+		},
+	}
+}
+
+// RefStencil runs the identical sweeps in Go.
+func RefStencil(n, steps int) []int32 {
+	cur := make([]int32, n)
+	next := make([]int32, n)
+	for t := range cur {
+		cur[t] = stencilInput(t)
+		next[t] = stencilInput(t)
+	}
+	for s := 0; s < steps; s++ {
+		for i := 1; i < n-1; i++ {
+			next[i] = cur[i-1] + 2*cur[i] + cur[i+1]
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// ---------------------------------------------------------------------------
+// Producer-consumer chain: m values flow through a four-stage rendezvous
+// pipeline — producer → two transform stages → consumer — so every value
+// crosses three channels. The whole run is communication: 3·m rendezvous
+// with almost no arithmetic between them, which keeps the ring and the
+// mcache's context-state traffic on the critical path.
+
+func chainInput(k int) int32 { return int32(k*7 - 3) }
+
+// Chain builds the m-value pipeline program.
+func Chain(m int) Workload {
+	src := fmt.Sprintf(`def m = %d:
+var out[m]:
+chan c0, c1, c2:
+par
+  seq k = [0 for m]
+    c0 ! (k * 7) - 3
+  seq k = [0 for m]
+    var x:
+    seq
+      c0 ? x
+      c1 ! (x * 3) + 1
+  seq k = [0 for m]
+    var x:
+    seq
+      c1 ? x
+      c2 ! x - (x >> 2)
+  seq k = [0 for m]
+    var x:
+    seq
+      c2 ? x
+      out[k] := x
+`, m)
+	return Workload{
+		Name:   fmt.Sprintf("chain-%d", m),
+		Source: src,
+		Check: func(art *compile.Artifact, data []int32) error {
+			return checkVector(art, data, "out", RefChain(m))
+		},
+	}
+}
+
+// RefChain applies the same three transforms in Go.
+func RefChain(m int) []int32 {
+	out := make([]int32, m)
+	for k := range out {
+		x := chainInput(k)
+		x = x*3 + 1
+		x = x - x>>2
+		out[k] = x
+	}
+	return out
+}

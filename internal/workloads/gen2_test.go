@@ -1,0 +1,107 @@
+package workloads
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestBitonicSmall(t *testing.T) {
+	for _, pes := range []int{1, 2, 4} {
+		runCheck(t, Bitonic(3), pes) // 8 keys
+	}
+}
+
+func TestBitonic16(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16-key bitonic in -short mode")
+	}
+	runCheck(t, Bitonic(4), 8)
+}
+
+func TestLUSmall(t *testing.T) {
+	for _, pes := range []int{1, 4} {
+		runCheck(t, LU(4), pes)
+	}
+}
+
+func TestLUFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("6x6 LU in -short mode")
+	}
+	runCheck(t, LU(6), 8)
+}
+
+func TestStencilSmall(t *testing.T) {
+	for _, pes := range []int{1, 4} {
+		runCheck(t, Stencil(8, 4), pes)
+	}
+}
+
+func TestChainSmall(t *testing.T) {
+	for _, pes := range []int{1, 2, 4} {
+		runCheck(t, Chain(8), pes)
+	}
+}
+
+func TestChainLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-value chain in -short mode")
+	}
+	res := runCheck(t, Chain(32), 4)
+	// Every value crosses three channels; the run should be dominated by
+	// rendezvous, visible as a large dynamic context population from the
+	// replicated-seq iteration contexts.
+	if res.Kernel.ContextsCreated < 64 {
+		t.Errorf("contexts = %d; expected rendezvous-dominated execution", res.Kernel.ContextsCreated)
+	}
+}
+
+// TestGen2ReferencesAreExact checks reference self-consistency the same way
+// TestReferencesAreExact does for the first-generation suite.
+func TestGen2ReferencesAreExact(t *testing.T) {
+	// Bitonic must agree with a plain sort of the same input.
+	got := RefBitonic(4)
+	want := make([]int32, len(got))
+	for i := range want {
+		want[i] = bitonicInput(i)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bitonic[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// L·U must reproduce A, and the compact result must divide exactly.
+	n := 6
+	a := RefLUA(n)
+	lu := RefLU(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for k := 0; k < n; k++ {
+				var l, u int32
+				if k < i {
+					l = lu[i*n+k]
+				} else if k == i {
+					l = 1
+				}
+				if k <= j {
+					u = lu[k*n+j]
+				}
+				s += l * u
+			}
+			if s != a[i*n+j] {
+				t.Fatalf("A != L·U at (%d,%d): %d vs %d", i, j, s, a[i*n+j])
+			}
+		}
+	}
+
+	// Zero stencil sweeps is the identity.
+	z := RefStencil(6, 0)
+	for i, v := range z {
+		if v != stencilInput(i) {
+			t.Fatalf("stencil identity broken at %d: %d", i, v)
+		}
+	}
+}
