@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/sim"
+	"queuemachine/internal/workloads"
+)
+
+// hostParPECounts is the machine-size axis of the host-parallel scaling
+// study. The sizes sit well above the Chapter 6 figures (which stop at 8)
+// because the lookahead engine only has work to overlap when many
+// processing elements are simultaneously armed.
+var hostParPECounts = []int{64, 128, 256}
+
+// hostParWorkerCounts is the worker axis: 0 is the sequential oracle the
+// speed-ups are measured against.
+var hostParWorkerCounts = []int{0, 1, 2, 4, 8}
+
+// HostParScaling measures the host-parallel engine against the sequential
+// oracle on the Congruence transformation — the most communication-heavy
+// Chapter 6 program — at 64, 128 and 256 processing elements. Every
+// parallel run's answer and cycle count are checked against the sequential
+// run at the same machine size: the engine is only allowed to change how
+// fast the host simulates, never what it simulates. Wall-clock figures are
+// host-dependent; the table records GOMAXPROCS so a single-core reading
+// (where the lookahead engine can only add overhead) is recognizable as
+// such.
+func HostParScaling(w io.Writer) error {
+	wl := workloads.Congruence(8)
+	art, err := compile.Compile(wl.Source, compile.Options{})
+	if err != nil {
+		return fmt.Errorf("hostpar: compile %s: %w", wl.Name, err)
+	}
+
+	fmt.Fprintf(w, "Host-parallel scaling: %s, workers 0 (sequential oracle) to 8\n", wl.Name)
+	fmt.Fprintf(w, "host: GOMAXPROCS=%d (speed-up above 1 requires as many host cores as workers)\n\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(w, "%4s %8s %12s %12s %9s %8s %9s %9s %7s\n",
+		"PEs", "workers", "cycles", "instrs", "host ms", "speedup", "epochs", "barriers", "cross")
+
+	for _, pes := range hostParPECounts {
+		var seqCycles, seqInstrs int64
+		var seqMS float64
+		for _, workers := range hostParWorkerCounts {
+			params := sim.DefaultParams()
+			params.KeepData = true
+			params.HostParallel = workers
+			sys, err := sim.New(art.Object, pes, params)
+			if err != nil {
+				return fmt.Errorf("hostpar: %d PEs, %d workers: %w", pes, workers, err)
+			}
+			start := time.Now()
+			res, err := sys.Run()
+			hostMS := float64(time.Since(start).Microseconds()) / 1e3
+			if err != nil {
+				return fmt.Errorf("hostpar: %d PEs, %d workers: %w", pes, workers, err)
+			}
+			if err := wl.Check(art, res.Data); err != nil {
+				return fmt.Errorf("hostpar: %d PEs, %d workers: wrong result: %w",
+					pes, workers, err)
+			}
+			if workers == 0 {
+				seqCycles, seqInstrs, seqMS = res.Cycles, res.Instructions, hostMS
+			} else if res.Cycles != seqCycles || res.Instructions != seqInstrs {
+				return fmt.Errorf(
+					"hostpar: %d PEs, %d workers: drift from sequential oracle: "+
+						"cycles %d vs %d, instructions %d vs %d",
+					pes, workers, res.Cycles, seqCycles, res.Instructions, seqInstrs)
+			}
+			fmt.Fprintf(w, "%4d %8d %12d %12d %9.1f %8.2f %9d %9d %7d\n",
+				pes, workers, res.Cycles, res.Instructions, hostMS,
+				seqMS/hostMS, res.Host.Epochs, res.Host.Barriers, res.Host.CrossMessages)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "Simulated columns (cycles, instrs, epochs/barriers/cross at fixed workers)")
+	fmt.Fprintln(w, "are deterministic; host ms and speedup vary with machine and load.")
+	return nil
+}

@@ -1,0 +1,89 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunHostParallel: a run with host_parallel set succeeds, reports the
+// engine's counters, produces the identical simulated statistics to the
+// sequential run, and feeds the service-level hostpar totals and metrics.
+func TestRunHostParallel(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	var seq, par runResponse
+	if code, raw := post(t, ts.URL+"/run",
+		runRequest{Source: parSquares, PEs: 4}, &seq); code != 200 {
+		t.Fatalf("sequential run: %d %s", code, raw)
+	}
+	if code, raw := post(t, ts.URL+"/run",
+		runRequest{Source: parSquares, PEs: 4, HostParallel: 2}, &par); code != 200 {
+		t.Fatalf("host-parallel run: %d %s", code, raw)
+	}
+	if par.Stats.HostWorkers != 2 {
+		t.Errorf("host_workers = %d, want 2", par.Stats.HostWorkers)
+	}
+	if par.Stats.HostEpochs == 0 {
+		t.Error("host-parallel run reported zero fill passes")
+	}
+	// Everything but the host-side block must match the sequential run.
+	seqCmp, parCmp := *seq.Stats, *par.Stats
+	seqCmp.HostSeconds, seqCmp.HostMIPS = 0, 0
+	parCmp.HostSeconds, parCmp.HostMIPS = 0, 0
+	parCmp.HostWorkers, parCmp.HostEpochs, parCmp.HostBarriers, parCmp.HostCrossMessages = 0, 0, 0, 0
+	if !reflect.DeepEqual(seqCmp, parCmp) {
+		t.Errorf("simulated stats differ between engines:\nseq: %+v\npar: %+v", seqCmp, parCmp)
+	}
+
+	st := svc.Stats()
+	if st.HostParRuns != 1 {
+		t.Errorf("HostParRuns = %d, want 1", st.HostParRuns)
+	}
+	if st.HostParEpochs == 0 {
+		t.Error("HostParEpochs = 0 after a host-parallel run")
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"qmd_hostpar_runs_total 1",
+		"qmd_hostpar_epochs_total",
+		"qmd_hostpar_barriers_total",
+		"qmd_hostpar_cross_messages_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestRunHostParallelRejected: worker counts the machine cannot shard are a
+// client error, answered 400 before the run is admitted — on the dedicated
+// field and through the params overlay alike.
+func TestRunHostParallelRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, raw := post(t, ts.URL+"/run",
+		runRequest{Source: parSquares, PEs: 4, HostParallel: 64}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("oversized worker count: status %d, want 400 (%s)", code, raw)
+	}
+	if msg := errorBody(t, raw); !strings.Contains(msg, "HostParallel") {
+		t.Errorf("error %q does not name HostParallel", msg)
+	}
+
+	code, raw = post(t, ts.URL+"/run", map[string]any{
+		"source": parSquares,
+		"pes":    4,
+		"params": map[string]any{"HostParallel": 64},
+	}, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("params-overlay worker count: status %d, want 400 (%s)", code, raw)
+	}
+	errorBody(t, raw)
+}

@@ -23,3 +23,18 @@ func (e *DeadlockError) Error() string {
 	return fmt.Sprintf("sim: deadlock at cycle %d with %d live contexts:\n%s",
 		e.Cycle, e.Live, strings.Join(e.Snapshot, "\n"))
 }
+
+// ConfigError reports an invalid simulation configuration: a Params field
+// (or the machine size) whose value cannot be simulated. Callers that
+// surface configuration over a wire (qmd) use errors.As on this type to
+// answer with a client error rather than a simulation failure.
+type ConfigError struct {
+	// Field names the offending configuration knob ("HostParallel", "pes").
+	Field string
+	// Reason explains the rejection in one sentence.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid %s: %s", e.Field, e.Reason)
+}

@@ -1,0 +1,66 @@
+package sim_test
+
+import (
+	"reflect"
+	"testing"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/profile"
+	"queuemachine/internal/sim"
+	"queuemachine/internal/workloads"
+)
+
+// profileRun executes a workload with a cycle-attribution profiler attached
+// and returns the finalized profile.
+func profileRun(t *testing.T, wl workloads.Workload, numPEs, hostWorkers int) *profile.Profile {
+	t.Helper()
+	art, err := compile.Compile(wl.Source, compile.Options{})
+	if err != nil {
+		t.Fatalf("%s: Compile: %v", wl.Name, err)
+	}
+	params := sim.DefaultParams()
+	params.HostParallel = hostWorkers
+	sys, err := sim.New(art.Object, numPEs, params)
+	if err != nil {
+		t.Fatalf("%s: New: %v", wl.Name, err)
+	}
+	prof := profile.New(numPEs)
+	names := make([]string, len(art.Object.Graphs))
+	for i, g := range art.Object.Graphs {
+		names[i] = g.Name
+	}
+	prof.SetGraphNames(names)
+	sys.SetRecorder(prof)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("%s: Run: %v", wl.Name, err)
+	}
+	return prof.Finalize(res.Cycles)
+}
+
+// TestHostParProfilerAttribution: the cycle-attribution profiler consumes
+// the hook stream, so under the host-parallel engine it must produce the
+// identical attribution — including the invariant that causes still sum to
+// PEs × makespan — at every worker count.
+func TestHostParProfilerAttribution(t *testing.T) {
+	for _, wl := range []workloads.Workload{
+		workloads.Congruence(3),
+		workloads.Stencil(8, 2),
+	} {
+		seq := profileRun(t, wl, 8, 0)
+		for _, w := range []int{1, 2, 4} {
+			par := profileRun(t, wl, 8, w)
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("%s on 8 PEs, %d workers: profile differs from sequential engine", wl.Name, w)
+			}
+			var total int64
+			for _, v := range par.Causes {
+				total += v
+			}
+			if want := int64(par.PEs) * par.Cycles; total != want {
+				t.Errorf("%s on 8 PEs, %d workers: causes sum to %d, want PEs×makespan = %d",
+					wl.Name, w, total, want)
+			}
+		}
+	}
+}

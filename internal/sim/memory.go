@@ -15,13 +15,38 @@ import (
 type replicatedMemory struct {
 	words      []int32
 	storeExtra int64
-	// Reads and Writes count data-memory traffic for the statistics
-	// tables.
-	Reads, Writes int64
+	// reads and writes count data-memory traffic for the statistics
+	// tables, sharded per processing element: under the host-parallel
+	// engine several worker goroutines execute memory instructions
+	// concurrently, so a shared counter would be a data race. Reads() and
+	// Writes() sum the shards.
+	reads, writes []int64
 }
 
-func newReplicatedMemory(words int, storeExtra int64) *replicatedMemory {
-	return &replicatedMemory{words: make([]int32, words), storeExtra: storeExtra}
+func newReplicatedMemory(words, numPEs int, storeExtra int64) *replicatedMemory {
+	return &replicatedMemory{
+		words:      make([]int32, words),
+		storeExtra: storeExtra,
+		reads:      make([]int64, numPEs),
+		writes:     make([]int64, numPEs),
+	}
+}
+
+// Reads and Writes total the per-element data-memory traffic counters.
+func (m *replicatedMemory) Reads() int64 {
+	var n int64
+	for _, v := range m.reads {
+		n += v
+	}
+	return n
+}
+
+func (m *replicatedMemory) Writes() int64 {
+	var n int64
+	for _, v := range m.writes {
+		n += v
+	}
+	return n
 }
 
 func (m *replicatedMemory) load(obj *isa.Object) {
@@ -46,41 +71,41 @@ func (m *replicatedMemory) wordIndex(byteAddr int32, aligned bool) (int, error) 
 	return idx, nil
 }
 
-func (m *replicatedMemory) FetchWord(_ int, byteAddr int32) (int32, int, error) {
+func (m *replicatedMemory) FetchWord(peID int, byteAddr int32) (int32, int, error) {
 	idx, err := m.wordIndex(byteAddr, true)
 	if err != nil {
 		return 0, 0, err
 	}
-	m.Reads++
+	m.reads[peID]++
 	return m.words[idx], 0, nil
 }
 
-func (m *replicatedMemory) StoreWord(_ int, byteAddr, val int32) (int, error) {
+func (m *replicatedMemory) StoreWord(peID int, byteAddr, val int32) (int, error) {
 	idx, err := m.wordIndex(byteAddr, true)
 	if err != nil {
 		return 0, err
 	}
-	m.Writes++
+	m.writes[peID]++
 	m.words[idx] = val
 	return int(m.storeExtra), nil
 }
 
-func (m *replicatedMemory) FetchByte(_ int, byteAddr int32) (int32, int, error) {
+func (m *replicatedMemory) FetchByte(peID int, byteAddr int32) (int32, int, error) {
 	idx, err := m.wordIndex(byteAddr, false)
 	if err != nil {
 		return 0, 0, err
 	}
-	m.Reads++
+	m.reads[peID]++
 	shift := uint(byteAddr%isa.WordSize) * 8
 	return int32(uint32(m.words[idx]) >> shift & 0xff), 0, nil
 }
 
-func (m *replicatedMemory) StoreByte(_ int, byteAddr, val int32) (int, error) {
+func (m *replicatedMemory) StoreByte(peID int, byteAddr, val int32) (int, error) {
 	idx, err := m.wordIndex(byteAddr, false)
 	if err != nil {
 		return 0, err
 	}
-	m.Writes++
+	m.writes[peID]++
 	shift := uint(byteAddr%isa.WordSize) * 8
 	mask := uint32(0xff) << shift
 	m.words[idx] = int32(uint32(m.words[idx])&^mask | uint32(val&0xff)<<shift)

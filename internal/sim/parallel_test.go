@@ -1,0 +1,300 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/isa"
+	"queuemachine/internal/trace"
+	"queuemachine/internal/workloads"
+)
+
+// runPar executes obj under the host-parallel engine with the given worker
+// count, with the same full-log and Chrome recorders runMode attaches, and
+// returns the result plus both serializations.
+func runPar(t *testing.T, obj *isa.Object, numPEs, workers int) (*Result, string, []byte) {
+	t.Helper()
+	params := DefaultParams()
+	params.HostParallel = workers
+	sys, err := New(obj, numPEs, params)
+	if err != nil {
+		t.Fatalf("New (workers=%d): %v", workers, err)
+	}
+	logRec := &logRecorder{every: 64}
+	chrome := trace.NewChrome(64)
+	sys.SetRecorder(trace.Multi(chrome, logRec))
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatalf("Run (workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	if err := chrome.Write(&buf); err != nil {
+		t.Fatalf("Chrome.Write: %v", err)
+	}
+	return res, logRec.b.String(), buf.Bytes()
+}
+
+// checkHostParEquivalence asserts the engine's defining property: at every
+// processing-element and worker count, the host-parallel engine produces a
+// Result, a hook-call log, and a Chrome trace byte-identical to the
+// sequential engine's. Host, the engine's own counter block, is the single
+// intentionally differing field and is checked separately.
+func checkHostParEquivalence(t *testing.T, name string, obj *isa.Object, peCounts, workerCounts []int) {
+	t.Helper()
+	params := DefaultParams()
+	for _, pes := range peCounts {
+		seqRes, seqLog, seqTrace := runMode(t, obj, pes, false)
+		parts := params.PartitionCount(pes)
+		tried := map[int]bool{}
+		for _, w := range workerCounts {
+			if w > parts {
+				w = parts // a worker owns whole partitions; clamp like callers do
+			}
+			if tried[w] {
+				continue
+			}
+			tried[w] = true
+			parRes, parLog, parTrace := runPar(t, obj, pes, w)
+			if parRes.Host.Workers != w {
+				t.Errorf("%s on %d PEs, %d workers: Host.Workers = %d", name, pes, w, parRes.Host.Workers)
+			}
+			if parRes.Host.Epochs == 0 {
+				t.Errorf("%s on %d PEs, %d workers: no fill passes recorded", name, pes, w)
+			}
+			parRes.Host = HostStats{}
+			if !reflect.DeepEqual(seqRes, parRes) {
+				t.Errorf("%s on %d PEs, %d workers: Result differs from sequential engine\nseq: %+v\npar: %+v",
+					name, pes, w, seqRes, parRes)
+			}
+			if seqLog != parLog {
+				t.Errorf("%s on %d PEs, %d workers: recorder hook streams differ (seq %d bytes, par %d bytes): %s",
+					name, pes, w, len(seqLog), len(parLog), firstLogDiff(seqLog, parLog))
+			}
+			if !bytes.Equal(seqTrace, parTrace) {
+				t.Errorf("%s on %d PEs, %d workers: Chrome traces differ (%d vs %d bytes)",
+					name, pes, w, len(seqTrace), len(parTrace))
+			}
+		}
+	}
+}
+
+// TestHostParEquivalenceWorkloads drives the property over the four Chapter
+// 6 benchmarks and the four second-generation workloads at small sizes.
+// This is the regression test the race CI job runs under -race: a data race
+// between the commit loop and a worker is a bug even when the outputs agree.
+func TestHostParEquivalenceWorkloads(t *testing.T) {
+	cases := []workloads.Workload{
+		workloads.MatMul(3),
+		workloads.FFT(2),
+		workloads.Cholesky(3),
+		workloads.Congruence(3),
+		workloads.Bitonic(3),
+		workloads.LU(4),
+		workloads.Stencil(8, 2),
+		workloads.Chain(8),
+	}
+	for _, w := range cases {
+		art, err := compile.Compile(w.Source, compile.Options{})
+		if err != nil {
+			t.Fatalf("%s: Compile: %v", w.Name, err)
+		}
+		checkHostParEquivalence(t, w.Name, art.Object, []int{1, 3, 8}, []int{1, 2, 4})
+	}
+}
+
+// TestHostParEquivalenceRandomPrograms drives the property over seeded
+// random expression programs (the batching property's fuzz corpus).
+func TestHostParEquivalenceRandomPrograms(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		src := exprProgram(seed)
+		art, err := compile.Compile(src, compile.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: Compile: %v\n%s", seed, err, src)
+		}
+		checkHostParEquivalence(t, fmt.Sprintf("expr-seed-%d", seed), art.Object, []int{1, 5, 8}, []int{1, 2, 4})
+	}
+}
+
+// TestHostParEquivalenceAssembly covers the blocking shapes the compiler
+// doesn't emit: tight rendezvous ping-pong, wide fan-out, real-time waits.
+func TestHostParEquivalenceAssembly(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		src  string
+		pes  []int
+	}{
+		{"single-context", singleContext, []int{1, 2}},
+		{"producer-consumer", producerConsumer, []int{1, 2, 4}},
+		{"fan-out", fanOut(4, 10), []int{1, 4, 8}},
+		{"wait", waitProgram, []int{1, 2}},
+	} {
+		checkHostParEquivalence(t, tc.name, assemble(t, tc.src), tc.pes, []int{1, 2, 4})
+	}
+}
+
+// TestHostParNoBatch: the two differential oracles compose — event-per-step
+// mode under the parallel engine still matches the plain sequential run.
+func TestHostParNoBatch(t *testing.T) {
+	art, err := compile.Compile(workloads.Congruence(3).Source, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantLog, _ := runMode(t, art.Object, 4, false)
+	params := DefaultParams()
+	params.NoBatch = true
+	params.HostParallel = 2
+	sys, err := New(art.Object, 4, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logRec := &logRecorder{every: 64}
+	sys.SetRecorder(logRec)
+	got, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Host = HostStats{}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("NoBatch+HostParallel Result differs:\nwant: %+v\ngot:  %+v", want, got)
+	}
+	if wantLog != logRec.b.String() {
+		t.Errorf("NoBatch+HostParallel hook streams differ: %s", firstLogDiff(wantLog, logRec.b.String()))
+	}
+}
+
+// TestHostParLargeMachine: the engine is the point of 64-PE-and-up
+// machines; check a 64-element run agrees with the sequential engine and
+// that the shard map actually crosses workers (CrossMessages > 0).
+func TestHostParLargeMachine(t *testing.T) {
+	art, err := compile.Compile(workloads.Congruence(4).Source, compile.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Run(art.Object, 64, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams()
+	params.HostParallel = 4
+	par, err := Run(art.Object, 64, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Host.CrossMessages == 0 {
+		t.Error("64-PE run on 4 workers counted no cross-worker messages")
+	}
+	par.Host = HostStats{}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("64-PE Result differs:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestHostParValidation exercises the configuration surface: worker counts
+// against partition counts, the automatic count, the zero-cost-instruction
+// rejection, and the machine-size cap.
+func TestHostParValidation(t *testing.T) {
+	obj := assemble(t, singleContext)
+
+	t.Run("workers-exceed-partitions", func(t *testing.T) {
+		params := DefaultParams()
+		params.HostParallel = 64 // an 8-element machine has 4 partitions
+		_, err := New(obj, 8, params)
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field != "HostParallel" {
+			t.Fatalf("want ConfigError on HostParallel, got %v", err)
+		}
+	})
+
+	t.Run("auto-worker-count", func(t *testing.T) {
+		params := DefaultParams()
+		params.HostParallel = -1
+		res, err := Run(obj, 8, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := min(params.PartitionCount(8), runtime.GOMAXPROCS(0))
+		if res.Host.Workers != want {
+			t.Errorf("auto worker count = %d, want %d", res.Host.Workers, want)
+		}
+	})
+
+	t.Run("zero-cost-instructions", func(t *testing.T) {
+		params := DefaultParams()
+		params.HostParallel = 2
+		params.PE.ALU = 0
+		_, err := New(obj, 8, params)
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field != "HostParallel" {
+			t.Fatalf("want ConfigError on HostParallel, got %v", err)
+		}
+	})
+
+	t.Run("machine-size-cap", func(t *testing.T) {
+		_, err := New(obj, MaxPEs+1, DefaultParams())
+		var ce *ConfigError
+		if !errors.As(err, &ce) || ce.Field != "pes" {
+			t.Fatalf("want ConfigError on pes, got %v", err)
+		}
+	})
+
+	t.Run("256-pes", func(t *testing.T) {
+		art, err := compile.Compile(workloads.Congruence(3).Source, compile.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Run(art.Object, 256, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := DefaultParams()
+		params.HostParallel = 8
+		par, err := Run(art.Object, 256, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Cycles != par.Cycles {
+			t.Errorf("256-PE cycles differ: seq %d, par %d", seq.Cycles, par.Cycles)
+		}
+	})
+}
+
+// TestHostParErrorPaths: failure modes must be bit-identical too — the same
+// watchdog and deadlock errors at the same simulated state, with no worker
+// goroutine left behind.
+func TestHostParErrorPaths(t *testing.T) {
+	t.Run("max-instructions", func(t *testing.T) {
+		art, err := compile.Compile(workloads.Congruence(3).Source, compile.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		params := DefaultParams()
+		params.MaxInstructions = 100
+		_, seqErr := Run(art.Object, 4, params)
+		params.HostParallel = 2
+		_, parErr := Run(art.Object, 4, params)
+		if seqErr == nil || parErr == nil || seqErr.Error() != parErr.Error() {
+			t.Errorf("watchdog errors differ:\nseq: %v\npar: %v", seqErr, parErr)
+		}
+	})
+
+	t.Run("deadlock", func(t *testing.T) {
+		obj := assemble(t, deadlocked)
+		_, seqErr := Run(obj, 2, DefaultParams())
+		params := DefaultParams()
+		params.HostParallel = 1
+		_, parErr := Run(obj, 2, params)
+		var seqDL, parDL *DeadlockError
+		if !errors.As(seqErr, &seqDL) || !errors.As(parErr, &parDL) {
+			t.Fatalf("want deadlock from both engines, got seq %v, par %v", seqErr, parErr)
+		}
+		if seqDL.Cycle != parDL.Cycle || seqDL.Live != parDL.Live {
+			t.Errorf("deadlock state differs: seq (cycle %d, live %d), par (cycle %d, live %d)",
+				seqDL.Cycle, seqDL.Live, parDL.Cycle, parDL.Live)
+		}
+	})
+}
