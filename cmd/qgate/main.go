@@ -1,0 +1,103 @@
+// Command qgate is the fleet front proxy: it shards compile and run
+// requests across a set of qmd replicas by artifact fingerprint on a
+// consistent-hash ring, health-checks the replicas, and fails over past
+// dead ones without surfacing the failure to clients.
+//
+// Usage:
+//
+//	qgate -replicas http://a:8344,http://b:8344,http://c:8344
+//	qgate -addr :8450 -replicas ... -health-interval 5s
+//
+// Endpoints: POST /compile and POST /run (proxied, with an
+// X-Qmd-Replica response header naming the serving replica), GET
+// /healthz (200 while at least one replica is live), GET /statsz (gate
+// counters plus each replica's own /statsz), GET /metrics (Prometheus
+// text with per-replica latency histograms).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"queuemachine/internal/gate"
+	"queuemachine/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8450", "listen address")
+		replicas  = flag.String("replicas", "", "comma-separated qmd base URLs (required)")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0: default; must match the replicas' -peers ring)")
+		healthInt = flag.Duration("health-interval", 2*time.Second, "replica health probe period")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body limit in bytes")
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: qgate -replicas url,url,... [flags]")
+		os.Exit(2)
+	}
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "qgate: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
+
+	var urls []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			urls = append(urls, r)
+		}
+	}
+	g, err := gate.New(gate.Config{
+		Replicas:       urls,
+		VirtualNodes:   *vnodes,
+		HealthInterval: *healthInt,
+		MaxBodyBytes:   *maxBody,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	g.Start(ctx)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.AccessLog(logger, g.Handler()),
+		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(handler, slog.LevelError),
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	logger.Info("proxying", slog.String("addr", *addr), slog.Int("replicas", len(urls)))
+
+	select {
+	case err := <-errCh:
+		logger.Error("listen", slog.Any("err", err))
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Error("http shutdown", slog.Any("err", err))
+	}
+	logger.Info("bye")
+}

@@ -1,0 +1,103 @@
+// Command qload drives open-loop load against a qmd replica or a qgate
+// front proxy and reports throughput, cache and coalescing behaviour,
+// and latency quantiles.
+//
+// Usage:
+//
+//	qload -target http://localhost:8450 -rate 1000 -duration 20s
+//	qload -target ... -skew 1.3 -corpus all -json report.json
+//
+// The generator is open-loop: requests fire at the offered rate
+// regardless of how the server keeps up, bounded only by -max-inflight
+// (beyond which scheduled requests are counted as dropped, not delayed).
+//
+// With -min-coalesced and/or -max-5xx, qload doubles as a CI gate: it
+// exits non-zero when the run saw fewer coalesced responses or more 5xx
+// responses than allowed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"queuemachine/internal/load"
+)
+
+func main() {
+	var (
+		target      = flag.String("target", "", "base URL of the qmd or qgate to load (required)")
+		rate        = flag.Float64("rate", 100, "offered request rate, req/s")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to offer load")
+		skew        = flag.Float64("skew", 1.1, "zipf skew over the corpus (> 1; larger is hotter)")
+		seed        = flag.Uint64("seed", 1, "program-sequence seed")
+		pes         = flag.Int("pes", 2, "simulated machine size per run")
+		corpus      = flag.String("corpus", "chapter6", "program corpus: chapter6, gen2, or all")
+		maxInflight = flag.Int("max-inflight", 256, "outstanding-request bound; excess scheduled requests are dropped")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline")
+		jsonPath    = flag.String("json", "", "also write the full report as JSON to this file (- for stdout)")
+		minCoal     = flag.Int64("min-coalesced", -1, "fail unless at least this many responses were coalesced (-1: no gate)")
+		max5xx      = flag.Int64("max-5xx", -1, "fail if more than this many responses were 5xx (-1: no gate)")
+	)
+	flag.Parse()
+	if *target == "" || flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: qload -target URL [flags]")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := load.Run(ctx, *target, load.Options{
+		Rate:        *rate,
+		Duration:    *duration,
+		Skew:        *skew,
+		Seed:        *seed,
+		PEs:         *pes,
+		MaxInFlight: *maxInflight,
+		Timeout:     *timeout,
+		Corpus:      *corpus,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qload: %v\n", err)
+		os.Exit(1)
+	}
+	rep.WriteText(os.Stdout)
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qload: marshal report: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(blob)
+		} else if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "qload: write report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	if *minCoal >= 0 {
+		if coal := rep.Cache["coalesced"]; coal < *minCoal {
+			fmt.Fprintf(os.Stderr, "qload: GATE FAIL: %d coalesced responses, want >= %d\n", coal, *minCoal)
+			failed = true
+		}
+	}
+	if *max5xx >= 0 && rep.Server5xx > *max5xx {
+		fmt.Fprintf(os.Stderr, "qload: GATE FAIL: %d 5xx responses, allowed <= %d\n", rep.Server5xx, *max5xx)
+		failed = true
+	}
+	if rep.Completed == 0 {
+		fmt.Fprintln(os.Stderr, "qload: GATE FAIL: no requests completed")
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -9,6 +9,10 @@
 //	qmd                          serve on :8344 with defaults
 //	qmd -addr :9000 -workers 8   explicit listen address and pool size
 //	qmd -log-format json         structured request logs as JSON lines
+//	qmd -cache-dir /var/qmd      persist compiled artifacts across restarts
+//	qmd -self http://a:8344 -peers http://a:8344,http://b:8344
+//	                             join a replica fleet: artifact misses ask
+//	                             the ring owner before compiling locally
 //
 // Endpoints: POST /compile, POST /run, GET /healthz, GET /statsz,
 // GET /metrics (Prometheus text), and — with -pprof — GET /debug/pprof/*.
@@ -26,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +48,10 @@ func main() {
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain budget")
 		pprof     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		cacheDir  = flag.String("cache-dir", "", "persist compiled artifacts under this directory (empty: memory only)")
+		self      = flag.String("self", "", "this replica's base URL in the peer ring (required with -peers)")
+		peers     = flag.String("peers", "", "comma-separated base URLs of all replicas (including -self); empty: no peering")
+		peerTO    = flag.Duration("peer-timeout", 10*time.Second, "peer artifact fetch deadline")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,14 +70,30 @@ func main() {
 	}
 	logger := slog.New(handler)
 
-	svc := service.New(service.Config{
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	svc, err := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheEntries:   *cache,
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *timeout,
 		EnablePprof:    *pprof,
+		CacheDir:       *cacheDir,
+		Self:           *self,
+		Peers:          peerList,
+		PeerTimeout:    *peerTO,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qmd: %v\n", err)
+		os.Exit(1)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.AccessLog(logger, svc.Handler()),

@@ -12,6 +12,23 @@ import (
 // bumping one constant.
 const fingerprintVersion = "queuemachine/compile/1"
 
+// objectFormatVersion names the generation of the isa.Object wire shape a
+// persisted artifact was written with. Bump it when the object format
+// changes incompatibly; together with fingerprintVersion it makes
+// ToolchainHash reject stale on-disk artifacts after either the compiler
+// or the object format moves.
+const objectFormatVersion = "queuemachine/isa-object/1"
+
+// ToolchainHash identifies the compiler generation and object format as
+// one opaque version string. Disk-persisted artifact caches key their
+// storage by it: an artifact written under a different toolchain hash is
+// unreadable by construction, so a binary upgrade can never deserialize a
+// stale format — it just recompiles and rewrites.
+func ToolchainHash() string {
+	h := sha256.Sum256([]byte("toolchain\x00" + fingerprintVersion + "\x00" + objectFormatVersion))
+	return hex.EncodeToString(h[:])
+}
+
 // Fingerprint is the content address of a compilation: the hex SHA-256 of
 // the source text and the full option set. Two compilations with equal
 // fingerprints produce interchangeable artifacts, so the fingerprint is a

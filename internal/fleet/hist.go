@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is an HDR-style latency histogram: geometric buckets at four
+// per octave from 50µs to beyond two minutes, so relative error on any
+// reported quantile is bounded by the bucket ratio (~19%) independent of
+// where the latency mass lands. Observation is lock-free; it is shared
+// by the qgate per-replica latency tracking and the qload report.
+type Histogram struct {
+	bounds []float64      // bucket upper bounds in seconds, ascending
+	counts []atomic.Int64 // len(bounds)+1; last is the overflow bucket
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// latencyBounds builds the shared bucket layout: 50µs × 2^(i/4).
+func latencyBounds() []float64 {
+	const (
+		lo    = 50e-6
+		hi    = 130.0                 // past any deadline the service accepts
+		ratio = 1.1892071150027210667 // 2^(1/4)
+	)
+	var b []float64
+	for v := lo; v < hi; v *= ratio {
+		b = append(b, v)
+	}
+	return b
+}
+
+// NewLatencyHistogram builds a histogram with the shared bucket layout.
+func NewLatencyHistogram() *Histogram {
+	bounds := latencyBounds()
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.counts[sort.SearchFloat64s(h.bounds, d.Seconds())].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	for {
+		cur := h.maxNs.Load()
+		if int64(d) <= cur || h.maxNs.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed latency (0 with no observations).
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Max returns the largest observed latency.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.maxNs.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) by geometric
+// interpolation within the containing bucket, which is the natural
+// interpolant for log-spaced bounds. It returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := 25e-6 // half the first bound: a floor for the open bucket
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[len(h.bounds)-1] * 2
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			// Fraction of this bucket's mass below the target rank.
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return time.Duration(lo * math.Pow(hi/lo, frac) * float64(time.Second))
+		}
+		cum += c
+	}
+	return h.Max()
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	UpperSeconds float64 `json:"le"`
+	Cumulative   int64   `json:"count"`
+}
+
+// Snapshot is the serializable view of a Histogram: headline quantiles
+// plus the non-empty prefix of the cumulative bucket curve (so JSON
+// reports stay compact while remaining re-aggregatable).
+type Snapshot struct {
+	Count       int64    `json:"count"`
+	SumSeconds  float64  `json:"sum_seconds"`
+	MeanSeconds float64  `json:"mean_seconds"`
+	MaxSeconds  float64  `json:"max_seconds"`
+	P50Seconds  float64  `json:"p50_seconds"`
+	P90Seconds  float64  `json:"p90_seconds"`
+	P99Seconds  float64  `json:"p99_seconds"`
+	P999Seconds float64  `json:"p999_seconds"`
+	Buckets     []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Count:       h.count.Load(),
+		SumSeconds:  time.Duration(h.sumNs.Load()).Seconds(),
+		MeanSeconds: h.Mean().Seconds(),
+		MaxSeconds:  h.Max().Seconds(),
+		P50Seconds:  h.Quantile(0.50).Seconds(),
+		P90Seconds:  h.Quantile(0.90).Seconds(),
+		P99Seconds:  h.Quantile(0.99).Seconds(),
+		P999Seconds: h.Quantile(0.999).Seconds(),
+	}
+	var cum int64
+	last := -1
+	for i, b := range h.bounds {
+		c := h.counts[i].Load()
+		cum += c
+		if c != 0 {
+			last = i
+		}
+		s.Buckets = append(s.Buckets, Bucket{UpperSeconds: b, Cumulative: cum})
+	}
+	// Trim trailing empty buckets; keep one past the last occupied bound
+	// so the curve visibly flattens.
+	if last+2 < len(s.Buckets) {
+		s.Buckets = s.Buckets[:last+2]
+	}
+	if s.Count == 0 {
+		s.Buckets = nil
+	}
+	return s
+}
+
+// Bounds exposes the bucket upper bounds (seconds) for exposition
+// formats that need the raw layout, like Prometheus histograms.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCount returns the non-cumulative count of bucket i, where
+// i == len(Bounds()) addresses the overflow bucket.
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i].Load() }

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/isa"
+)
+
+// PeerHeader marks a request as originating from another replica rather
+// than a client. A replica never forwards a peer-marked request onward,
+// which bounds every request to at most one peer hop even when replicas
+// disagree about ring ownership during a health transition.
+const PeerHeader = "X-Qmd-Peer"
+
+// CompileOptions mirrors compile.Options with the service's stable wire
+// names; it is the JSON shape of the "options" field on /compile and
+// /run requests, shared by the service handlers, the peer client, and
+// the qgate request parser so the three can never drift apart.
+type CompileOptions struct {
+	NoInputOrder bool `json:"no_input_order,omitempty"`
+	NoLiveFilter bool `json:"no_live_filter,omitempty"`
+	NoPriority   bool `json:"no_priority,omitempty"`
+	NoConstFold  bool `json:"no_const_fold,omitempty"`
+}
+
+// ToCompile converts the wire form into the compiler's option set.
+func (o CompileOptions) ToCompile() compile.Options {
+	return compile.Options{
+		NoInputOrder: o.NoInputOrder,
+		NoLiveFilter: o.NoLiveFilter,
+		NoPriority:   o.NoPriority,
+		NoConstFold:  o.NoConstFold,
+	}
+}
+
+// OptionsFromCompile is the inverse of ToCompile.
+func OptionsFromCompile(o compile.Options) CompileOptions {
+	return CompileOptions{
+		NoInputOrder: o.NoInputOrder,
+		NoLiveFilter: o.NoLiveFilter,
+		NoPriority:   o.NoPriority,
+		NoConstFold:  o.NoConstFold,
+	}
+}
+
+// Client fetches compiled artifacts from peer replicas and probes their
+// health. The zero value is not usable; build one with NewClient.
+type Client struct {
+	http *http.Client
+}
+
+// NewClient builds a peer client whose requests are bounded by timeout
+// (<= 0 selects 10s, generous for a compile of any accepted program).
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{http: &http.Client{Timeout: timeout}}
+}
+
+// peerCompileRequest and peerCompileResponse are the slices of the
+// /compile wire protocol the peer exchange uses.
+type peerCompileRequest struct {
+	Source  string         `json:"source"`
+	Options CompileOptions `json:"options"`
+}
+
+type peerCompileResponse struct {
+	Fingerprint string      `json:"fingerprint"`
+	Object      *isa.Object `json:"object"`
+}
+
+// FetchCompile asks the peer at base to compile source (serving from its
+// own caches when it can) and returns the object program. The request
+// carries PeerHeader so the peer answers locally instead of forwarding
+// again.
+func (c *Client) FetchCompile(ctx context.Context, base, source string, opts compile.Options) (*isa.Object, error) {
+	body, err := json.Marshal(peerCompileRequest{Source: source, Options: OptionsFromCompile(opts)})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encode peer compile: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/compile", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: peer request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(PeerHeader, "1")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: peer %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("fleet: peer %s answered %d: %s", base, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var pr peerCompileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("fleet: decode peer response: %w", err)
+	}
+	if pr.Object == nil {
+		return nil, fmt.Errorf("fleet: peer %s returned no object", base)
+	}
+	if err := pr.Object.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: peer %s returned invalid object: %w", base, err)
+	}
+	return pr.Object, nil
+}
+
+// CheckHealth probes base's /healthz and returns nil when the replica
+// answers 200 within ctx's deadline.
+func (c *Client) CheckHealth(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("fleet: health request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: health %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: health %s: status %d", base, resp.StatusCode)
+	}
+	return nil
+}

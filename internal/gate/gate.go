@@ -1,0 +1,443 @@
+// Package gate is the fleet front proxy: one HTTP endpoint that shards
+// compile and run requests across a set of qmd replicas by artifact
+// fingerprint on a consistent-hash ring.
+//
+// Sharding by fingerprint is what makes the replica tier a cache tier:
+// every request for one program lands on the same replica, so that
+// replica's in-memory LRU and singleflight group see the program's whole
+// request stream, and the fleet as a whole compiles each distinct program
+// once. The same ring (same vnode layout, same hash) runs inside the
+// replicas for their peer-fetch tier, so gate routing and peer ownership
+// agree about who owns a fingerprint.
+//
+// Replica failure is handled twice over: a background health loop probes
+// /healthz and removes dead replicas from the ring (keys re-shard
+// minimally, by consistent-hash construction), and a transport error on a
+// proxied request marks the replica dead immediately and fails over to
+// the next owner on the ring without surfacing the error to the client.
+package gate
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/fleet"
+)
+
+// ReplicaHeader names the replica that served a proxied request, set on
+// every proxied response. Tests and load generators use it to observe
+// routing decisions without trusting gate-internal state.
+const ReplicaHeader = "X-Qmd-Replica"
+
+// Config sizes the gate. Replicas is the only required field.
+type Config struct {
+	// Replicas is the full set of qmd base URLs to shard across.
+	Replicas []string
+	// VirtualNodes per replica on the hash ring (default:
+	// fleet.DefaultVirtualNodes). Must match the replicas' own ring
+	// configuration for gate routing and peer ownership to agree.
+	VirtualNodes int
+	// HealthInterval is the probe period (default: 2s); HealthTimeout
+	// bounds each probe (default: 1s).
+	HealthInterval time.Duration
+	HealthTimeout  time.Duration
+	// MaxBodyBytes bounds proxied request bodies (default: 1 MiB). The
+	// gate reads the whole body before routing — it needs the bytes to
+	// compute the shard key and to replay the request on failover.
+	MaxBodyBytes int64
+	// ProxyTimeout bounds one proxied request attempt (default: 150s,
+	// above the replicas' 2m deadline ceiling so the replica's own
+	// timeout fires first and its error document reaches the client).
+	ProxyTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = fleet.DefaultVirtualNodes
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.ProxyTimeout <= 0 {
+		c.ProxyTimeout = 150 * time.Second
+	}
+	return c
+}
+
+// replicaState is the gate's account of one replica.
+type replicaState struct {
+	requests  atomic.Int64 // proxied requests answered by this replica
+	server5xx atomic.Int64 // of those, 5xx responses
+	transport atomic.Int64 // connect/read failures (failed over)
+	healthy   atomic.Bool
+	latency   *fleet.Histogram
+}
+
+// Gate is one front-proxy instance.
+type Gate struct {
+	cfg      Config
+	ring     *fleet.Ring
+	probe    *fleet.Client
+	proxy    *http.Client
+	mux      *http.ServeMux
+	start    time.Time
+	replicas map[string]*replicaState
+
+	requests, failovers, unrouted atomic.Int64
+}
+
+// New builds a gate over the replica set. It fails only on an empty or
+// duplicated replica list.
+func New(cfg Config) (*Gate, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("gate: no replicas configured")
+	}
+	seen := make(map[string]bool, len(cfg.Replicas))
+	states := make(map[string]*replicaState, len(cfg.Replicas))
+	for _, r := range cfg.Replicas {
+		if r == "" || seen[r] {
+			return nil, fmt.Errorf("gate: empty or duplicate replica %q", r)
+		}
+		seen[r] = true
+		st := &replicaState{latency: fleet.NewLatencyHistogram()}
+		st.healthy.Store(true) // optimistic until the first probe
+		states[r] = st
+	}
+	g := &Gate{
+		cfg:      cfg,
+		ring:     fleet.NewRing(cfg.Replicas, cfg.VirtualNodes),
+		probe:    fleet.NewClient(cfg.HealthTimeout),
+		proxy:    &http.Client{Timeout: cfg.ProxyTimeout},
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+		replicas: states,
+	}
+	g.mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
+		g.handleProxy(w, r, "/compile")
+	})
+	g.mux.HandleFunc("POST /run", func(w http.ResponseWriter, r *http.Request) {
+		g.handleProxy(w, r, "/run")
+	})
+	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
+	g.mux.HandleFunc("GET /statsz", g.handleStatsz)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return g, nil
+}
+
+// Handler is the gate's HTTP interface.
+func (g *Gate) Handler() http.Handler { return g.mux }
+
+// Start launches the health-check loop; it stops when ctx is cancelled.
+// The first sweep runs immediately so a replica that was down at boot is
+// off the ring before the first request.
+func (g *Gate) Start(ctx context.Context) {
+	go func() {
+		g.checkAll(ctx)
+		t := time.NewTicker(g.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				g.checkAll(ctx)
+			}
+		}
+	}()
+}
+
+// checkAll probes every replica concurrently and updates ring liveness.
+func (g *Gate) checkAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for url, st := range g.replicas {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probeCtx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
+			defer cancel()
+			alive := g.probe.CheckHealth(probeCtx, url) == nil
+			st.healthy.Store(alive)
+			g.ring.SetAlive(url, alive)
+		}()
+	}
+	wg.Wait()
+}
+
+// shardBody is the subset of the compile/run wire format that determines
+// routing. Unknown fields are ignored: the gate must route every request
+// the replicas accept, including ones from newer clients.
+type shardBody struct {
+	Source  string               `json:"source"`
+	Options fleet.CompileOptions `json:"options"`
+	Object  json.RawMessage      `json:"object"`
+}
+
+// shardKey maps a request body to its ring key. Source-bearing requests
+// key by compile fingerprint — the same address the replicas' caches and
+// peer ring use — so gate routing, cache residency, and peer ownership
+// all name the same replica. Object-only runs and unparseable bodies fall
+// back to a content hash: still deterministic, so repeats coalesce, just
+// not shared with the compile namespace.
+func shardKey(body []byte) string {
+	var sb shardBody
+	if err := json.Unmarshal(body, &sb); err == nil {
+		if sb.Source != "" {
+			return compile.Fingerprint(sb.Source, sb.Options.ToCompile())
+		}
+		if len(sb.Object) > 0 {
+			sum := sha256.Sum256(sb.Object)
+			return hex.EncodeToString(sum[:])
+		}
+	}
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:])
+}
+
+func (g *Gate) handleProxy(w http.ResponseWriter, r *http.Request, path string) {
+	g.requests.Add(1)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		status := http.StatusBadRequest
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	key := shardKey(body)
+	owners := g.ring.Owners(key, len(g.cfg.Replicas))
+	if len(owners) == 0 {
+		// Every replica is marked dead. Probing found nobody, but a
+		// request is here now: try the full set in ring order rather
+		// than refusing outright — a replica that just came back serves
+		// it and the next health sweep revives the ring.
+		owners = g.ring.Nodes()
+	}
+	for i, replica := range owners {
+		if i > 0 {
+			g.failovers.Add(1)
+		}
+		if g.tryReplica(w, r, replica, path, body) {
+			return
+		}
+		if r.Context().Err() != nil {
+			return // client gone; retrying serves nobody
+		}
+	}
+	g.unrouted.Add(1)
+	writeJSON(w, http.StatusBadGateway,
+		map[string]string{"error": "no replica reachable"})
+}
+
+// tryReplica proxies one attempt. It reports false only on a transport
+// error (the replica never answered), in which case the replica is
+// marked dead and nothing has been written to w — the caller may fail
+// over. Any HTTP response, error or not, is relayed as-is.
+func (g *Gate) tryReplica(w http.ResponseWriter, r *http.Request, replica, path string, body []byte) bool {
+	st := g.replicas[replica]
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		replica+path, bytes.NewReader(body))
+	if err != nil {
+		st.transport.Add(1)
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := g.proxy.Do(req)
+	if err != nil {
+		st.transport.Add(1)
+		st.healthy.Store(false)
+		g.ring.SetAlive(replica, false)
+		return false
+	}
+	defer resp.Body.Close()
+	st.requests.Add(1)
+	st.latency.Observe(time.Since(start))
+	if resp.StatusCode >= 500 {
+		st.server5xx.Add(1)
+	}
+	h := w.Header()
+	for k, vv := range resp.Header {
+		h[k] = vv
+	}
+	h.Set(ReplicaHeader, replica)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+func (g *Gate) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if g.ring.LiveCount() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"status": "no healthy replicas"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ReplicaStats is the /statsz view of one replica.
+type ReplicaStats struct {
+	Healthy         bool           `json:"healthy"`
+	Requests        int64          `json:"requests"`
+	Server5xx       int64          `json:"server_5xx"`
+	TransportErrors int64          `json:"transport_errors"`
+	Latency         fleet.Snapshot `json:"latency"`
+}
+
+// Stats is the gate's /statsz document. ReplicaStatsz carries each live
+// replica's own /statsz verbatim, so one scrape of the gate shows the
+// whole fleet's cache and coalescing behaviour.
+type Stats struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Requests      int64                      `json:"requests"`
+	Failovers     int64                      `json:"failovers"`
+	Unrouted      int64                      `json:"unrouted"`
+	LiveReplicas  int                        `json:"live_replicas"`
+	Replicas      map[string]ReplicaStats    `json:"replicas"`
+	ReplicaStatsz map[string]json.RawMessage `json:"replica_statsz,omitempty"`
+}
+
+// Snapshot collects the gate counters; when fetchReplicas is set it also
+// pulls each healthy replica's /statsz (bounded by the health timeout).
+func (g *Gate) Snapshot(ctx context.Context, fetchReplicas bool) Stats {
+	st := Stats{
+		UptimeSeconds: time.Since(g.start).Seconds(),
+		Requests:      g.requests.Load(),
+		Failovers:     g.failovers.Load(),
+		Unrouted:      g.unrouted.Load(),
+		LiveReplicas:  g.ring.LiveCount(),
+		Replicas:      make(map[string]ReplicaStats, len(g.replicas)),
+	}
+	for url, rs := range g.replicas {
+		st.Replicas[url] = ReplicaStats{
+			Healthy:         rs.healthy.Load(),
+			Requests:        rs.requests.Load(),
+			Server5xx:       rs.server5xx.Load(),
+			TransportErrors: rs.transport.Load(),
+			Latency:         rs.latency.Snapshot(),
+		}
+	}
+	if fetchReplicas {
+		st.ReplicaStatsz = g.fetchStatsz(ctx)
+	}
+	return st
+}
+
+// fetchStatsz pulls each healthy replica's /statsz document.
+func (g *Gate) fetchStatsz(ctx context.Context) map[string]json.RawMessage {
+	out := make(map[string]json.RawMessage)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for url, rs := range g.replicas {
+		if !rs.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqCtx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url+"/statsz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.proxy.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			if err != nil || resp.StatusCode != http.StatusOK || !json.Valid(blob) {
+				return
+			}
+			mu.Lock()
+			out[url] = blob
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func (g *Gate) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Snapshot(r.Context(), true))
+}
+
+// handleMetrics serves the gate counters in Prometheus text exposition
+// format: per-replica request/error counters, liveness gauges, and a
+// latency histogram per replica.
+func (g *Gate) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	urls := make([]string, 0, len(g.replicas))
+	for url := range g.replicas {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+
+	fmt.Fprintf(w, "# HELP qgate_requests_total Requests accepted by the gate.\n# TYPE qgate_requests_total counter\nqgate_requests_total %d\n", g.requests.Load())
+	fmt.Fprintf(w, "# HELP qgate_failovers_total Proxy attempts re-routed past a dead replica.\n# TYPE qgate_failovers_total counter\nqgate_failovers_total %d\n", g.failovers.Load())
+	fmt.Fprintf(w, "# HELP qgate_unrouted_total Requests no replica could be reached for (502).\n# TYPE qgate_unrouted_total counter\nqgate_unrouted_total %d\n", g.unrouted.Load())
+	fmt.Fprintf(w, "# HELP qgate_live_replicas Replicas currently on the ring.\n# TYPE qgate_live_replicas gauge\nqgate_live_replicas %d\n", g.ring.LiveCount())
+
+	emit := func(name, help, typ string, value func(*replicaState) int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, url := range urls {
+			fmt.Fprintf(w, "%s{replica=%q} %d\n", name, url, value(g.replicas[url]))
+		}
+	}
+	emit("qgate_replica_requests_total", "Proxied requests answered, by replica.", "counter",
+		func(rs *replicaState) int64 { return rs.requests.Load() })
+	emit("qgate_replica_5xx_total", "Proxied 5xx responses, by replica.", "counter",
+		func(rs *replicaState) int64 { return rs.server5xx.Load() })
+	emit("qgate_replica_transport_errors_total", "Transport failures, by replica.", "counter",
+		func(rs *replicaState) int64 { return rs.transport.Load() })
+	emit("qgate_replica_healthy", "1 while the replica passes health checks.", "gauge",
+		func(rs *replicaState) int64 {
+			if rs.healthy.Load() {
+				return 1
+			}
+			return 0
+		})
+
+	fmt.Fprintf(w, "# HELP qgate_replica_seconds Proxied request latency, by replica.\n# TYPE qgate_replica_seconds histogram\n")
+	for _, url := range urls {
+		h := g.replicas[url].latency
+		var cum int64
+		for i, bound := range h.Bounds() {
+			cum += h.BucketCount(i)
+			fmt.Fprintf(w, "qgate_replica_seconds_bucket{replica=%q,le=%q} %d\n",
+				url, fmt.Sprintf("%g", bound), cum)
+		}
+		cum += h.BucketCount(len(h.Bounds()))
+		fmt.Fprintf(w, "qgate_replica_seconds_bucket{replica=%q,le=\"+Inf\"} %d\n", url, cum)
+		fmt.Fprintf(w, "qgate_replica_seconds_count{replica=%q} %d\n", url, h.Count())
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}

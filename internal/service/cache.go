@@ -60,6 +60,23 @@ func (c *artifactCache) get(key string) (*compile.Artifact, bool) {
 	return el.Value.(*cacheEntry).art, true
 }
 
+// peek is get without miss accounting: a present entry counts as a hit
+// and is promoted, an absent one counts nothing. The compile fast path
+// uses it so that n coalescing requests record one miss (the flight
+// leader's), not n — a coalesced follower never consulted the cache and
+// must not be charged to it.
+func (c *artifactCache) peek(key string) (*compile.Artifact, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).art, true
+}
+
 // add inserts (or refreshes) an artifact, evicting the least recently used
 // entry when the cache is full. Concurrent compiles of the same source may
 // both add; the second add is a refresh, not an eviction.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -91,25 +92,23 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 }
 
-func TestCompileCachedDeterminism(t *testing.T) {
-	s := New(Config{})
+func TestArtifactForDeterminism(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	const src = "var v[1]:\nseq\n  v[0] := 42\n"
-	_, cached1, fp1, err := s.compileCached(src, compile.Options{})
+	fp := compile.Fingerprint(src, compile.Options{})
+	_, state1, err := s.artifactFor(context.Background(), src, compile.Options{}, fp, true)
 	if err != nil {
-		t.Fatalf("compileCached: %v", err)
+		t.Fatalf("artifactFor: %v", err)
 	}
-	art2, cached2, fp2, err := s.compileCached(src, compile.Options{})
+	art2, state2, err := s.artifactFor(context.Background(), src, compile.Options{}, fp, true)
 	if err != nil {
-		t.Fatalf("compileCached: %v", err)
+		t.Fatalf("artifactFor: %v", err)
 	}
-	if cached1 || !cached2 {
-		t.Errorf("cached flags = %t, %t; want false, true", cached1, cached2)
-	}
-	if fp1 != fp2 {
-		t.Errorf("identical source produced different fingerprints: %s vs %s", fp1, fp2)
-	}
-	if fp1 != compile.Fingerprint(src, compile.Options{}) {
-		t.Error("service fingerprint differs from compile.Fingerprint")
+	if state1 != cacheStateMiss || state2 != cacheStateHit {
+		t.Errorf("cache states = %q, %q; want %q, %q", state1, state2, cacheStateMiss, cacheStateHit)
 	}
 	if art2 == nil {
 		t.Error("cached artifact is nil")

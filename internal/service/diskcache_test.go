@@ -1,0 +1,254 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"queuemachine/internal/compile"
+)
+
+// swappableServer is an httptest server whose handler can be installed
+// after construction — needed because a fleet service's peer list must
+// contain its own URL, which only exists once the server is listening.
+type swappableServer struct {
+	ts *httptest.Server
+	h  atomic.Value // http.Handler
+}
+
+func newSwappableServer(t *testing.T) *swappableServer {
+	t.Helper()
+	s := &swappableServer{}
+	s.h.Store(http.Handler(http.NotFoundHandler()))
+	s.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.h.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func (s *swappableServer) URL() string        { return s.ts.URL }
+func (s *swappableServer) Set(h http.Handler) { s.h.Store(h) }
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	d, err := openDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("openDiskCache: %v", err)
+	}
+	art := compileFor(t, 7)
+	const fp = "abc123"
+	if _, ok := d.get(fp); ok {
+		t.Fatal("hit on empty disk cache")
+	}
+	d.put(fp, art)
+	got, ok := d.get(fp)
+	if !ok {
+		t.Fatal("artifact not readable back")
+	}
+	want, _ := json.Marshal(art.Object)
+	have, _ := json.Marshal(got.Object)
+	if string(want) != string(have) {
+		t.Error("object changed through disk round trip")
+	}
+	st := d.stats()
+	if st.Writes != 1 || st.Hits != 1 || st.Errors != 0 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDiskCacheRejectsCorruptAndStale(t *testing.T) {
+	d, err := openDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatalf("openDiskCache: %v", err)
+	}
+	art := compileFor(t, 1)
+
+	// Corrupt JSON fails once, then the file is gone.
+	if err := os.WriteFile(d.path("bad"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.get("bad"); ok {
+		t.Error("corrupt file served as artifact")
+	}
+	if _, err := os.Stat(d.path("bad")); !os.IsNotExist(err) {
+		t.Error("corrupt file not removed")
+	}
+
+	// A stale toolchain version is rejected even in the right directory.
+	blob, _ := json.Marshal(diskArtifact{
+		Toolchain:   "queuemachine/old-toolchain",
+		Fingerprint: "stale",
+		Object:      art.Object,
+	})
+	if err := os.WriteFile(d.path("stale"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.get("stale"); ok {
+		t.Error("stale-toolchain artifact served")
+	}
+
+	// A file whose embedded fingerprint disagrees with its name (copied
+	// or renamed by hand) is rejected too.
+	blob, _ = json.Marshal(diskArtifact{
+		Toolchain:   compile.ToolchainHash(),
+		Fingerprint: "other",
+		Object:      art.Object,
+	})
+	if err := os.WriteFile(d.path("mismatch"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.get("mismatch"); ok {
+		t.Error("fingerprint-mismatched artifact served")
+	}
+	if st := d.stats(); st.Errors != 3 {
+		t.Errorf("errors = %d, want 3", st.Errors)
+	}
+}
+
+func TestDiskCacheSweepsTemporaries(t *testing.T) {
+	root := t.TempDir()
+	d, err := openDiskCache(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed writer, then reopen.
+	tmp := filepath.Join(d.dir, "tmp-12345")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openDiskCache(root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("leftover temporary not swept at open")
+	}
+}
+
+// TestRestartWarmsFromDisk is the end-to-end restart story: a fresh
+// service instance pointed at the same cache directory serves a compile
+// from disk — no recompilation — and reports it as a "disk" cache state.
+func TestRestartWarmsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{CacheDir: dir})
+	var first compileResponse
+	status, raw := post(t, ts1.URL+"/compile", map[string]any{"source": sumSquares}, &first)
+	if status != http.StatusOK {
+		t.Fatalf("compile: status %d: %s", status, raw)
+	}
+	if first.CacheState != cacheStateMiss {
+		t.Fatalf("first compile cache = %q, want %q", first.CacheState, cacheStateMiss)
+	}
+
+	// "Restart": a brand-new service over the same directory.
+	svc2, ts2 := newTestServer(t, Config{CacheDir: dir})
+	var second compileResponse
+	status, raw = post(t, ts2.URL+"/compile", map[string]any{"source": sumSquares}, &second)
+	if status != http.StatusOK {
+		t.Fatalf("compile after restart: status %d: %s", status, raw)
+	}
+	if second.CacheState != cacheStateDisk {
+		t.Errorf("post-restart compile cache = %q, want %q", second.CacheState, cacheStateDisk)
+	}
+	if !second.Cached {
+		t.Error("post-restart compile not reported as cached")
+	}
+	if first.Fingerprint != second.Fingerprint {
+		t.Error("fingerprint changed across restart")
+	}
+	wantObj, _ := json.Marshal(first.Object)
+	gotObj, _ := json.Marshal(second.Object)
+	if string(wantObj) != string(gotObj) {
+		t.Error("object changed across restart")
+	}
+	// The disk load warmed the memory tier: the next request is a plain
+	// memory hit.
+	var third compileResponse
+	status, _ = post(t, ts2.URL+"/compile", map[string]any{"source": sumSquares}, &third)
+	if status != http.StatusOK || third.CacheState != cacheStateHit {
+		t.Errorf("third compile = %d/%q, want 200/%q", status, third.CacheState, cacheStateHit)
+	}
+	if st := svc2.disk.stats(); st.Hits != 1 {
+		t.Errorf("disk hits = %d, want 1", st.Hits)
+	}
+	// Runs warm from disk too: a fresh third instance executes the
+	// program without compiling.
+	svc3, ts3 := newTestServer(t, Config{CacheDir: dir})
+	var run runResponse
+	status, raw = post(t, ts3.URL+"/run", map[string]any{"source": sumSquares, "pes": 2}, &run)
+	if status != http.StatusOK {
+		t.Fatalf("run after restart: status %d: %s", status, raw)
+	}
+	if run.CacheState != cacheStateDisk {
+		t.Errorf("post-restart run cache = %q, want %q", run.CacheState, cacheStateDisk)
+	}
+	if st := svc3.disk.stats(); st.Hits != 1 {
+		t.Errorf("disk hits = %d, want 1", st.Hits)
+	}
+}
+
+// TestPeerFetchThroughFleet wires two real service instances into a
+// two-replica fleet and drives a compile to the non-owner: it must fetch
+// the artifact from the owner (cache state "peer") rather than compile,
+// and the owner must answer without re-forwarding.
+func TestPeerFetchThroughFleet(t *testing.T) {
+	// Build both replicas first with placeholder peer lists is not
+	// possible — the ring is fixed at construction — so allocate the
+	// servers, then the services, then swap handlers in.
+	srvA := newSwappableServer(t)
+	srvB := newSwappableServer(t)
+	peers := []string{srvA.URL(), srvB.URL()}
+
+	svcA, err := New(Config{Workers: 2, Self: srvA.URL(), Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcB, err := New(Config{Workers: 2, Self: srvB.URL(), Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA.Set(svcA.Handler())
+	srvB.Set(svcB.Handler())
+
+	// Find a source owned by A on the ring (both replicas agree: same
+	// member list, same hash).
+	var src string
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("no source owned by replica A")
+		}
+		candidate := fmt.Sprintf("var v[1]:\nseq\n  v[0] := %d\n", i)
+		fp := compile.Fingerprint(candidate, compile.Options{})
+		if svcA.ring.Owner(fp) == srvA.URL() {
+			src = candidate
+			break
+		}
+	}
+
+	// Compile on B: B is not the owner, so it fetches from A.
+	var resp compileResponse
+	status, raw := post(t, srvB.URL()+"/compile", map[string]any{"source": src}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("compile via B: status %d: %s", status, raw)
+	}
+	if resp.CacheState != cacheStatePeer {
+		t.Errorf("cache state via B = %q, want %q", resp.CacheState, cacheStatePeer)
+	}
+	if svcB.peerHits.Load() != 1 {
+		t.Errorf("B peer hits = %d, want 1", svcB.peerHits.Load())
+	}
+	// A compiled it locally (the peer-marked request is never
+	// re-forwarded) and now owns it in memory.
+	if svcA.cache.stats().Misses != 1 {
+		t.Errorf("A cache misses = %d, want 1", svcA.cache.stats().Misses)
+	}
+	// B's copy is cached in memory now: repeating on B is a local hit.
+	status, _ = post(t, srvB.URL()+"/compile", map[string]any{"source": src}, &resp)
+	if status != http.StatusOK || resp.CacheState != cacheStateHit {
+		t.Errorf("repeat via B = %d/%q, want 200/hit", status, resp.CacheState)
+	}
+}

@@ -1,0 +1,114 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent identical work (singleflight): while a
+// call for a key is in flight, later calls with the same key wait for its
+// result instead of executing again. Identical in-flight compiles and
+// runs therefore cost one worker, one compile, and one simulation, no
+// matter how many users submit the same program at once — the serving
+// property the fleet tier is built around.
+//
+// Unlike a cache, a flight exists only while someone is computing it:
+// once the leader's function returns, the key is forgotten and the next
+// request starts fresh (and will typically hit the artifact cache the
+// flight populated).
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed when val/err are set
+	val  any
+	err  error
+	// waiters counts the requests (leader included) still waiting on the
+	// flight; when it reaches zero before completion nobody wants the
+	// result and the work's context is cancelled. Guarded by the group mu.
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// do executes fn for key, coalescing with any in-flight call under the
+// same key. It returns fn's value and error, plus shared=true when this
+// caller joined an existing flight rather than leading one.
+//
+// The work runs under a context detached from any single request's
+// cancellation: the leader's deadline bounds it (so a flight can never
+// outlive what admission control promised), but the context is cancelled
+// early only when every waiter has abandoned the flight. A follower whose
+// own request context expires leaves with its ctx error without
+// disturbing the flight.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if f, ok := g.flights[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err, true
+		case <-ctx.Done():
+			g.abandon(f)
+			return nil, ctx.Err(), true
+		}
+	}
+	f := &flight{done: make(chan struct{}), waiters: 1}
+	// Detach from the leader's cancellation but keep its deadline: a
+	// coalesced run must not die because one browser tab closed, yet it
+	// must still respect the admission deadline it was started under.
+	base := context.WithoutCancel(ctx)
+	var callCtx context.Context
+	if dl, ok := ctx.Deadline(); ok {
+		callCtx, f.cancel = context.WithDeadline(base, dl)
+	} else {
+		callCtx, f.cancel = context.WithCancel(base)
+	}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	go func() {
+		v, err := fn(callCtx)
+		g.mu.Lock()
+		f.val, f.err = v, err
+		delete(g.flights, key)
+		g.mu.Unlock()
+		close(f.done)
+		f.cancel()
+	}()
+
+	select {
+	case <-f.done:
+		return f.val, f.err, false
+	case <-ctx.Done():
+		g.abandon(f)
+		return nil, ctx.Err(), false
+	}
+}
+
+// abandon records that one waiter stopped caring about f's result; the
+// last abandonment cancels the underlying work so a flight nobody is
+// waiting for aborts between simulator events instead of running to
+// completion unobserved.
+func (g *flightGroup) abandon(f *flight) {
+	g.mu.Lock()
+	f.waiters--
+	cancel := f.waiters == 0
+	g.mu.Unlock()
+	if cancel {
+		f.cancel()
+	}
+}
+
+// inFlight reports the number of distinct keys currently executing, for
+// /statsz.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

@@ -3,36 +3,29 @@ package service
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"queuemachine/internal/compile"
+	"queuemachine/internal/fleet"
 	"queuemachine/internal/isa"
 	"queuemachine/internal/profile"
 	"queuemachine/internal/sched"
 	"queuemachine/internal/sim"
 )
 
-// compileOptions mirrors compile.Options with stable wire names.
-type compileOptions struct {
-	NoInputOrder bool `json:"no_input_order,omitempty"`
-	NoLiveFilter bool `json:"no_live_filter,omitempty"`
-	NoPriority   bool `json:"no_priority,omitempty"`
-	NoConstFold  bool `json:"no_const_fold,omitempty"`
-}
-
-func (o compileOptions) toCompile() compile.Options {
-	return compile.Options{
-		NoInputOrder: o.NoInputOrder,
-		NoLiveFilter: o.NoLiveFilter,
-		NoPriority:   o.NoPriority,
-		NoConstFold:  o.NoConstFold,
-	}
-}
+// compileOptions is the wire form of compile.Options; the shape lives in
+// the fleet package so the peer client and the qgate request parser share
+// it with these handlers.
+type compileOptions = fleet.CompileOptions
 
 type compileRequest struct {
 	Source    string         `json:"source"`
@@ -41,11 +34,16 @@ type compileRequest struct {
 }
 
 type compileResponse struct {
-	Fingerprint string      `json:"fingerprint"`
-	Cached      bool        `json:"cached"`
-	Graphs      int         `json:"graphs"`
-	DataWords   int         `json:"data_words"`
-	Object      *isa.Object `json:"object"`
+	Fingerprint string `json:"fingerprint"`
+	Cached      bool   `json:"cached"`
+	// CacheState records where the artifact came from: "hit" (memory),
+	// "disk", "peer", or "miss" (compiled here). A follower coalesced
+	// onto another request's compile reports "coalesced" instead.
+	CacheState string      `json:"cache,omitempty"`
+	Coalesced  bool        `json:"coalesced,omitempty"`
+	Graphs     int         `json:"graphs"`
+	DataWords  int         `json:"data_words"`
+	Object     *isa.Object `json:"object"`
 }
 
 type runRequest struct {
@@ -82,9 +80,15 @@ type runRequest struct {
 }
 
 type runResponse struct {
-	Fingerprint string    `json:"fingerprint,omitempty"`
-	Cached      bool      `json:"cached"`
-	Stats       *RunStats `json:"stats"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Cached      bool   `json:"cached"`
+	// CacheState and Coalesced mirror the compile response: where the
+	// artifact came from, and whether this response rode another
+	// request's in-flight execution. The simulation itself always ran
+	// exactly once per coalition.
+	CacheState string    `json:"cache,omitempty"`
+	Coalesced  bool      `json:"coalesced,omitempty"`
+	Stats      *RunStats `json:"stats"`
 }
 
 // httpError carries a status code chosen at the point the failure is
@@ -116,14 +120,26 @@ func toStatus(err error) int {
 	}
 }
 
+// retryAfterSeconds bounds the jittered Retry-After value on 429s.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 3
+)
+
+// retryAfter picks the shed response's Retry-After delay. The base guess
+// is one in-flight simulation (~1s); the jitter spreads synchronized
+// clients — a fleet of identical pollers all told "1" would re-stampede
+// on the same second and shed again, forever.
+func retryAfter() string {
+	return strconv.Itoa(retryAfterMin + rand.IntN(retryAfterMax-retryAfterMin+1))
+}
+
 // error writes the structured JSON error document for err.
 func (s *Service) error(w http.ResponseWriter, err error) {
 	status := toStatus(err)
 	if status == http.StatusTooManyRequests {
 		s.rejected.Add(1)
-		// One in-flight simulation is a reasonable guess at when a worker
-		// frees up; clients with better knowledge can ignore it.
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfter())
 	} else {
 		s.fails.Add(1)
 	}
@@ -154,19 +170,72 @@ func (s *Service) decode(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-// compileCached serves an artifact from the cache or compiles and caches
-// it. Compile failures are the client's fault, not the server's: 422.
-func (s *Service) compileCached(src string, opts compile.Options) (*compile.Artifact, bool, string, error) {
-	fp := compile.Fingerprint(src, opts)
-	if art, ok := s.cache.get(fp); ok {
-		return art, true, fp, nil
+// cacheStateDisk through cacheStateCoalesced are the X-Qmd-Cache header
+// values beyond the original "hit"/"miss"; hitMiss keeps those two.
+const (
+	cacheStateHit       = "hit"
+	cacheStateMiss      = "miss"
+	cacheStateDisk      = "disk"
+	cacheStatePeer      = "peer"
+	cacheStateCoalesced = "coalesced"
+)
+
+// materialize produces the artifact for a fingerprint that already
+// missed the in-memory cache, in cost order: the disk tier, then the
+// owning peer (when a fleet is configured, this replica is not the
+// owner, and the request did not itself arrive from a peer), then a
+// local compile. Whatever produced the artifact, it lands in the memory
+// cache; local compiles are also persisted to disk. Compile failures are
+// the client's fault, not the server's: 422.
+func (s *Service) materialize(ctx context.Context, src string, opts compile.Options, fp string, allowPeer bool) (*compile.Artifact, string, error) {
+	if s.disk != nil {
+		if art, ok := s.disk.get(fp); ok {
+			s.cache.add(fp, art)
+			return art, cacheStateDisk, nil
+		}
+	}
+	if s.ring != nil && allowPeer {
+		if owner := s.ring.Owner(fp); owner != "" && owner != s.self {
+			s.peerFetches.Add(1)
+			obj, err := s.peers.FetchCompile(ctx, owner, src, opts)
+			if err == nil {
+				s.peerHits.Add(1)
+				art := &compile.Artifact{Object: obj}
+				s.cache.add(fp, art)
+				return art, cacheStatePeer, nil
+			}
+			// A dead or slow owner degrades to a local compile; the
+			// request must not fail because a peer did.
+			s.peerErrors.Add(1)
+		}
 	}
 	art, err := compile.Compile(src, opts)
 	if err != nil {
-		return nil, false, fp, &httpError{http.StatusUnprocessableEntity, err.Error()}
+		return nil, cacheStateMiss, &httpError{http.StatusUnprocessableEntity, err.Error()}
 	}
 	s.cache.add(fp, art)
-	return art, false, fp, nil
+	if s.disk != nil {
+		s.disk.put(fp, art)
+	}
+	return art, cacheStateMiss, nil
+}
+
+// artifactFor resolves src's artifact through every cache tier. The
+// in-memory lookup counts a hit or a miss exactly once per request that
+// reaches it; coalesced followers never get here, which is what keeps
+// them out of the cache accounting.
+func (s *Service) artifactFor(ctx context.Context, src string, opts compile.Options, fp string, allowPeer bool) (*compile.Artifact, string, error) {
+	if art, ok := s.cache.get(fp); ok {
+		return art, cacheStateHit, nil
+	}
+	return s.materialize(ctx, src, opts, fp, allowPeer)
+}
+
+// allowPeer reports whether this request may be forwarded to a peer
+// replica: requests that already arrived from a peer are answered
+// locally, bounding every compile to one hop.
+func allowPeer(r *http.Request) bool {
+	return r.Header.Get(fleet.PeerHeader) == ""
 }
 
 func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
@@ -185,36 +254,92 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.error(w, badRequest("missing source"))
 		return
 	}
+	opts := req.Options.ToCompile()
+	fp := compile.Fingerprint(req.Source, opts)
+	// Memory hits are served on the handler goroutine: they cost no
+	// compile and no simulation, so they never contend for a worker and
+	// cannot be shed by admission control. peek (not get) so an absent
+	// entry is not charged as a miss here — the flight leader's counting
+	// lookup below decides hit or miss exactly once per coalition.
+	if art, ok := s.cache.peek(fp); ok {
+		resp := newCompileResponse(fp, cacheStateHit, art)
+		w.Header().Set(cacheHeader, resp.CacheState)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	peerOK := allowPeer(r)
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
 	defer cancel()
-	v, err := s.execute(ctx, func(context.Context) (any, error) {
-		art, cached, fp, err := s.compileCached(req.Source, req.Options.toCompile())
-		if err != nil {
-			return nil, err
-		}
-		return &compileResponse{
-			Fingerprint: fp,
-			Cached:      cached,
-			Graphs:      len(art.Object.Graphs),
-			DataWords:   art.Object.DataWords,
-			Object:      art.Object,
-		}, nil
+	v, err, shared := s.flights.do(ctx, "compile\x00"+fp, func(ctx context.Context) (any, error) {
+		return s.execute(ctx, func(ctx context.Context) (any, error) {
+			art, state, err := s.artifactFor(ctx, req.Source, opts, fp, peerOK)
+			if err != nil {
+				return nil, err
+			}
+			return newCompileResponse(fp, state, art), nil
+		})
 	})
+	if shared {
+		s.coalescedCompiles.Add(1)
+	}
 	if err != nil {
 		s.error(w, err)
 		return
 	}
 	if cr, ok := v.(*compileResponse); ok {
-		w.Header().Set(cacheHeader, hitMiss(cr.Cached))
+		if shared {
+			cp := *cr
+			cp.Coalesced = true
+			cp.CacheState = cacheStateCoalesced
+			cr = &cp
+			v = cr
+		}
+		w.Header().Set(cacheHeader, cr.CacheState)
 	}
 	writeJSON(w, http.StatusOK, v)
 }
 
+// newCompileResponse projects an artifact into the compile wire response.
+func newCompileResponse(fp, state string, art *compile.Artifact) *compileResponse {
+	return &compileResponse{
+		Fingerprint: fp,
+		Cached:      state != cacheStateMiss,
+		CacheState:  state,
+		Graphs:      len(art.Object.Graphs),
+		DataWords:   art.Object.DataWords,
+		Object:      art.Object,
+	}
+}
+
 func hitMiss(cached bool) string {
 	if cached {
-		return "hit"
+		return cacheStateHit
 	}
-	return "miss"
+	return cacheStateMiss
+}
+
+// runKey canonicalizes everything that determines a run's result and
+// response body; two requests with equal keys are interchangeable and
+// coalesce onto one execution. The request timeout is deliberately
+// excluded: it bounds waiting, not the result.
+type runKey struct {
+	Fingerprint string     `json:"fp,omitempty"`
+	ObjectHash  string     `json:"obj,omitempty"`
+	PEs         int        `json:"pes"`
+	Params      sim.Params `json:"params"`
+	DumpData    bool       `json:"dump"`
+	Profile     bool       `json:"profile"`
+}
+
+func (k runKey) String() string {
+	blob, err := json.Marshal(k)
+	if err != nil {
+		// sim.Params is a plain data struct; marshal cannot fail. Fall
+		// back to an uncoalescible unique key rather than panicking.
+		return fmt.Sprintf("run-unkeyed\x00%p", &k)
+	}
+	sum := sha256.Sum256(blob)
+	return "run\x00" + hex.EncodeToString(sum[:])
 }
 
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -267,76 +392,111 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.error(w, badRequest("%v", err))
 		return
 	}
+	// The response only carries the data segment when the client asked
+	// for it, so skip the per-run O(DataWords) copy otherwise. Resolved
+	// before keying: KeepData changes the response body.
+	params.KeepData = req.DumpData
+
+	opts := req.Options.ToCompile()
+	key := runKey{PEs: pes, Params: params, DumpData: req.DumpData, Profile: req.Profile}
+	if req.Source != "" {
+		key.Fingerprint = compile.Fingerprint(req.Source, opts)
+	} else {
+		blob, err := json.Marshal(req.Object)
+		if err != nil {
+			s.error(w, badRequest("malformed object: %v", err))
+			return
+		}
+		sum := sha256.Sum256(blob)
+		key.ObjectHash = hex.EncodeToString(sum[:])
+	}
+	peerOK := allowPeer(r)
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
 	defer cancel()
-	v, err := s.execute(ctx, func(ctx context.Context) (any, error) {
-		resp := &runResponse{}
-		obj := req.Object
-		if obj == nil {
-			art, cached, fp, err := s.compileCached(req.Source, req.Options.toCompile())
-			if err != nil {
-				return nil, err
-			}
-			obj, resp.Cached, resp.Fingerprint = art.Object, cached, fp
-		}
-		// The response only carries the data segment when the client asked
-		// for it, so skip the per-run O(DataWords) copy otherwise.
-		params.KeepData = req.DumpData
-		var profiler *profile.Profiler
-		simStart := time.Now()
-		var res *sim.Result
-		var err error
-		if req.Profile {
-			var sys *sim.System
-			sys, err = sim.New(obj, pes, params)
-			if err == nil {
-				profiler = profile.New(pes)
-				names := make([]string, len(obj.Graphs))
-				for i, g := range obj.Graphs {
-					names[i] = g.Name
+	v, err, shared := s.flights.do(ctx, key.String(), func(ctx context.Context) (any, error) {
+		return s.execute(ctx, func(ctx context.Context) (any, error) {
+			resp := &runResponse{}
+			obj := req.Object
+			if obj == nil {
+				art, state, err := s.artifactFor(ctx, req.Source, opts, key.Fingerprint, peerOK)
+				if err != nil {
+					return nil, err
 				}
-				profiler.SetGraphNames(names)
-				sys.SetRecorder(profiler)
-				res, err = sys.RunContext(ctx)
+				obj, resp.Fingerprint = art.Object, key.Fingerprint
+				resp.Cached, resp.CacheState = state != cacheStateMiss, state
 			}
-		} else {
-			res, err = sim.RunContext(ctx, obj, pes, params)
-		}
-		simTime := time.Since(simStart)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, err // maps to 504 via the wrapped context error
+			var profiler *profile.Profiler
+			simStart := time.Now()
+			var res *sim.Result
+			var err error
+			if req.Profile {
+				var sys *sim.System
+				sys, err = sim.New(obj, pes, params)
+				if err == nil {
+					profiler = profile.New(pes)
+					names := make([]string, len(obj.Graphs))
+					for i, g := range obj.Graphs {
+						names[i] = g.Name
+					}
+					profiler.SetGraphNames(names)
+					sys.SetRecorder(profiler)
+					res, err = sys.RunContext(ctx)
+				}
+			} else {
+				res, err = sim.RunContext(ctx, obj, pes, params)
 			}
-			// Deadlocks, watchdog trips, and malformed objects are
-			// properties of the submitted program.
-			return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
-		}
-		s.cyclesServed.Add(res.Cycles)
-		s.instrsServed.Add(res.Instructions)
-		s.simNanos.Add(int64(simTime))
-		s.recordSched(params.Scheduler.Name(), res.Kernel.Migrations, res.Kernel.Steals)
-		if res.Host.Workers > 0 {
-			s.hostparRuns.Add(1)
-			s.hostparEpochs.Add(res.Host.Epochs)
-			s.hostparBarriers.Add(res.Host.Barriers)
-			s.hostparCrossMsgs.Add(res.Host.CrossMessages)
-		}
-		resp.Stats = NewRunStats(res, req.DumpData)
-		resp.Stats.Scheduler = params.Scheduler.Name()
-		resp.Stats.SetHostTime(simTime)
-		if profiler != nil {
-			resp.Stats.Profile = profiler.Finalize(res.Cycles)
-			s.recordCauses(resp.Stats.Profile)
-		}
-		return resp, nil
+			simTime := time.Since(simStart)
+			if err != nil {
+				if ctx.Err() != nil {
+					return nil, err // maps to 504 via the wrapped context error
+				}
+				// Deadlocks, watchdog trips, and malformed objects are
+				// properties of the submitted program.
+				return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
+			}
+			s.cyclesServed.Add(res.Cycles)
+			s.instrsServed.Add(res.Instructions)
+			s.simNanos.Add(int64(simTime))
+			s.recordSched(params.Scheduler.Name(), res.Kernel.Migrations, res.Kernel.Steals)
+			if res.Host.Workers > 0 {
+				s.hostparRuns.Add(1)
+				s.hostparEpochs.Add(res.Host.Epochs)
+				s.hostparBarriers.Add(res.Host.Barriers)
+				s.hostparCrossMsgs.Add(res.Host.CrossMessages)
+			}
+			resp.Stats = NewRunStats(res, req.DumpData)
+			resp.Stats.Scheduler = params.Scheduler.Name()
+			resp.Stats.SetHostTime(simTime)
+			if profiler != nil {
+				resp.Stats.Profile = profiler.Finalize(res.Cycles)
+				s.recordCauses(resp.Stats.Profile)
+			}
+			return resp, nil
+		})
 	})
+	if shared {
+		s.coalescedRuns.Add(1)
+	}
 	if err != nil {
 		s.error(w, err)
 		return
 	}
-	// The cache only took part when the request came in as source.
-	if rr, ok := v.(*runResponse); ok && rr.Fingerprint != "" {
-		w.Header().Set(cacheHeader, hitMiss(rr.Cached))
+	if rr, ok := v.(*runResponse); ok {
+		if shared {
+			// Followers share the leader's stats but report their own
+			// provenance: they rode a flight, they did not consult the
+			// artifact cache.
+			cp := *rr
+			cp.Coalesced = true
+			cp.CacheState = cacheStateCoalesced
+			rr = &cp
+			v = rr
+			w.Header().Set(cacheHeader, cacheStateCoalesced)
+		} else if rr.CacheState != "" {
+			// The cache only took part when the request came in as source.
+			w.Header().Set(cacheHeader, rr.CacheState)
+		}
 	}
 	writeJSON(w, http.StatusOK, v)
 }

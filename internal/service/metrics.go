@@ -115,6 +115,29 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("qmd_cache_evictions_total", "Artifact cache evictions.", "", st.Cache.Evictions)
 	gauge("qmd_cache_entries", "Artifacts resident in the cache.", st.Cache.Entries)
 	gauge("qmd_cache_capacity", "Artifact cache capacity.", st.Cache.Capacity)
+	counter("qmd_coalesced_total", "Requests answered by joining another request's "+
+		"in-flight execution; never double-counted as cache hits.",
+		`{endpoint="compile"}`, st.CoalescedCompiles, `{endpoint="run"}`, st.CoalescedRuns)
+	gauge("qmd_flights_in_flight", "Distinct executions currently coalescing.",
+		st.FlightsInFlight)
+	if st.Disk != nil {
+		counter("qmd_disk_cache_hits_total", "Artifacts loaded from the disk tier.",
+			"", st.Disk.Hits)
+		counter("qmd_disk_cache_writes_total", "Artifacts persisted to the disk tier.",
+			"", st.Disk.Writes)
+		counter("qmd_disk_cache_errors_total", "Disk-tier read/write failures "+
+			"(each degrades to a recompile, never a failed request).",
+			"", st.Disk.Errors)
+		gauge("qmd_disk_cache_entries", "Artifacts resident on disk.", st.Disk.Entries)
+	}
+	if st.Peer != nil {
+		counter("qmd_peer_fetches_total", "Artifact fetches attempted against the owning peer.",
+			"", st.Peer.Fetches)
+		counter("qmd_peer_hits_total", "Peer fetches that returned a usable artifact.",
+			"", st.Peer.Hits)
+		counter("qmd_peer_errors_total", "Peer fetches that failed and degraded to a local compile.",
+			"", st.Peer.Errors)
+	}
 	gauge("qmd_pool_workers", "Worker pool size.", st.Workers)
 	gauge("qmd_pool_in_flight", "Jobs currently executing.", st.InFlight)
 	gauge("qmd_pool_queued", "Jobs waiting in the admission queue.", st.Queued)

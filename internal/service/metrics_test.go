@@ -83,21 +83,24 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 
 	want := map[string]float64{
-		`qmd_requests_total{endpoint="compile"}`: float64(st.Compiles),
-		`qmd_requests_total{endpoint="run"}`:     float64(st.Runs),
-		"qmd_shed_total":                         float64(st.Rejected),
-		"qmd_errors_total":                       float64(st.Errors),
-		"qmd_sim_cycles_total":                   float64(st.CyclesServed),
-		"qmd_sim_instructions_total":             float64(st.InstructionsServed),
-		"qmd_host_mips":                          st.HostMIPS,
-		"qmd_cache_hits_total":                   float64(st.Cache.Hits),
-		"qmd_cache_misses_total":                 float64(st.Cache.Misses),
-		"qmd_cache_evictions_total":              float64(st.Cache.Evictions),
-		"qmd_cache_entries":                      float64(st.Cache.Entries),
-		"qmd_cache_capacity":                     float64(st.Cache.Capacity),
-		"qmd_pool_workers":                       float64(st.Workers),
-		"qmd_pool_queue_capacity":                float64(st.QueueCapacity),
-		"qmd_draining":                           0,
+		`qmd_requests_total{endpoint="compile"}`:  float64(st.Compiles),
+		`qmd_requests_total{endpoint="run"}`:      float64(st.Runs),
+		"qmd_shed_total":                          float64(st.Rejected),
+		"qmd_errors_total":                        float64(st.Errors),
+		"qmd_sim_cycles_total":                    float64(st.CyclesServed),
+		"qmd_sim_instructions_total":              float64(st.InstructionsServed),
+		"qmd_host_mips":                           st.HostMIPS,
+		"qmd_cache_hits_total":                    float64(st.Cache.Hits),
+		"qmd_cache_misses_total":                  float64(st.Cache.Misses),
+		"qmd_cache_evictions_total":               float64(st.Cache.Evictions),
+		"qmd_cache_entries":                       float64(st.Cache.Entries),
+		"qmd_cache_capacity":                      float64(st.Cache.Capacity),
+		"qmd_pool_workers":                        float64(st.Workers),
+		"qmd_pool_queue_capacity":                 float64(st.QueueCapacity),
+		"qmd_draining":                            0,
+		`qmd_coalesced_total{endpoint="compile"}`: float64(st.CoalescedCompiles),
+		`qmd_coalesced_total{endpoint="run"}`:     float64(st.CoalescedRuns),
+		"qmd_flights_in_flight":                   float64(st.FlightsInFlight),
 	}
 	for key, v := range want {
 		got, ok := m[key]
@@ -123,9 +126,14 @@ func TestMetricsEndpoint(t *testing.T) {
 			st.InstructionsServed, st.SimSeconds, st.HostMIPS)
 	}
 	// Compile 1 misses; compile 2, run 1, and run 2 hit; the fresh run
-	// misses again.
+	// misses again. Nothing in this sequential sequence coalesces, so the
+	// hit/miss totals fully account for every cache consultation.
 	if st.Cache.Hits != 3 || st.Cache.Misses != 2 {
 		t.Errorf("cache hits %d misses %d; want 3, 2", st.Cache.Hits, st.Cache.Misses)
+	}
+	if st.CoalescedCompiles != 0 || st.CoalescedRuns != 0 {
+		t.Errorf("sequential requests coalesced: compiles %d, runs %d",
+			st.CoalescedCompiles, st.CoalescedRuns)
 	}
 
 	// Histograms: every request that reached a handler is observed, errors

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"queuemachine/internal/fleet"
 	"queuemachine/internal/sim"
 )
 
@@ -63,6 +64,23 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: the profiles expose internals and cost CPU while sampling.
 	EnablePprof bool
+	// CacheDir persists compiled artifacts to disk (content-addressed by
+	// fingerprint, versioned by the compiler toolchain hash) so restarts
+	// warm from disk instead of stampeding the compiler. Empty disables
+	// persistence.
+	CacheDir string
+	// Self and Peers configure the peer-aware artifact tier: Peers is the
+	// full replica set (Self included) sharing a consistent-hash ring
+	// keyed by fingerprint, and Self is this replica's own base URL. A
+	// replica that misses its memory and disk caches asks the owning peer
+	// to compile before compiling itself, groupcache-style, so one
+	// artifact is compiled once per fleet, not once per replica. Empty
+	// Peers disables peering.
+	Self  string
+	Peers []string
+	// PeerTimeout bounds each peer artifact fetch (default: 10s). A slow
+	// or dead peer degrades to a local compile, never to a failed request.
+	PeerTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -98,7 +116,12 @@ func (c Config) withDefaults() Config {
 type Service struct {
 	cfg     Config
 	cache   *artifactCache
+	disk    *diskCache  // nil without Config.CacheDir
+	ring    *fleet.Ring // nil without Config.Peers
+	peers   *fleet.Client
+	self    string
 	pool    *pool
+	flights flightGroup // singleflight over identical compiles and runs
 	mux     *http.ServeMux
 	start   time.Time
 	latency map[string]*histogram // per-endpoint request latency
@@ -107,6 +130,12 @@ type Service struct {
 	compiles, runs, rejected, fails atomic.Int64
 	cyclesServed, instrsServed      atomic.Int64
 	simNanos                        atomic.Int64 // wall-clock ns spent inside sim.RunContext
+
+	// Coalescing and peer-tier counters. A coalesced follower shares a
+	// leader's execution; it is counted here and never as an artifact
+	// cache hit (the follower never consulted the cache).
+	coalescedCompiles, coalescedRuns  atomic.Int64
+	peerFetches, peerHits, peerErrors atomic.Int64
 
 	// causeCycles accumulates the cycle attribution of profiled runs,
 	// keyed by cause name. Profiled runs are the rare case, so a mutex
@@ -129,8 +158,9 @@ type Service struct {
 }
 
 // New builds a service; it is ready to serve as soon as its Handler is
-// mounted.
-func New(cfg Config) *Service {
+// mounted. It fails only on invalid fleet configuration or an unusable
+// artifact cache directory.
+func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
 	s := &Service{
 		cfg:   cfg,
@@ -142,6 +172,24 @@ func New(cfg Config) *Service {
 			"compile": newHistogram(latencyBuckets),
 			"run":     newHistogram(latencyBuckets),
 		},
+	}
+	if cfg.CacheDir != "" {
+		disk, err := openDiskCache(cfg.CacheDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.disk = disk
+	}
+	if len(cfg.Peers) > 0 {
+		if cfg.Self == "" {
+			return nil, fmt.Errorf("service: Peers configured without Self")
+		}
+		s.ring = fleet.NewRing(cfg.Peers, 0)
+		if !s.ring.Contains(cfg.Self) {
+			return nil, fmt.Errorf("service: Self %q is not in the peer list", cfg.Self)
+		}
+		s.self = cfg.Self
+		s.peers = fleet.NewClient(cfg.PeerTimeout)
 	}
 	s.mux.HandleFunc("POST /compile", s.handleCompile)
 	s.mux.HandleFunc("POST /run", s.handleRun)
@@ -155,7 +203,7 @@ func New(cfg Config) *Service {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s
+	return s, nil
 }
 
 // Handler is the service's HTTP interface. Handlers run behind a recover

@@ -39,7 +39,10 @@ seq
 
 func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
 	t.Helper()
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
 	return svc, ts

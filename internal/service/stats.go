@@ -137,6 +137,20 @@ type ServiceStats struct {
 	SimSeconds float64    `json:"sim_seconds"`
 	HostMIPS   float64    `json:"host_mips"`
 	Cache      CacheStats `json:"cache"`
+	// CoalescedCompiles and CoalescedRuns count requests answered by
+	// joining another request's in-flight execution (singleflight). A
+	// coalesced follower is never counted as a cache hit or miss — it
+	// never consulted the artifact cache. FlightsInFlight is the number of
+	// distinct executions currently coalescing.
+	CoalescedCompiles int64 `json:"coalesced_compiles"`
+	CoalescedRuns     int64 `json:"coalesced_runs"`
+	FlightsInFlight   int   `json:"flights_in_flight"`
+	// Disk reports the persistent artifact tier, present only when the
+	// service was configured with a cache directory.
+	Disk *DiskStats `json:"disk_cache,omitempty"`
+	// Peer reports the peer-fetch tier, present only when the service is
+	// part of a fleet.
+	Peer *PeerStats `json:"peer,omitempty"`
 	// CycleCauses totals the cycle attribution of every profiled run
 	// (profile=true), keyed by cause. Processing-element causes are
 	// PE-cycles (they sum to PEs × makespan per run); message-processor and
@@ -157,6 +171,17 @@ type ServiceStats struct {
 	HostParEpochs        int64 `json:"hostpar_epochs"`
 	HostParBarriers      int64 `json:"hostpar_barriers"`
 	HostParCrossMessages int64 `json:"hostpar_cross_messages"`
+}
+
+// PeerStats is the /statsz view of the peer artifact tier: this
+// replica's identity, the ring membership, and how its outbound peer
+// fetches fared (a fetch that errors degrades to a local compile).
+type PeerStats struct {
+	Self    string   `json:"self"`
+	Peers   []string `json:"peers"`
+	Fetches int64    `json:"fetches"`
+	Hits    int64    `json:"hits"`
+	Errors  int64    `json:"errors"`
 }
 
 // Stats snapshots the service counters.
@@ -183,6 +208,11 @@ func (s *Service) Stats() ServiceStats {
 		SimSeconds:           simSecs,
 		HostMIPS:             mips,
 		Cache:                s.cache.stats(),
+		CoalescedCompiles:    s.coalescedCompiles.Load(),
+		CoalescedRuns:        s.coalescedRuns.Load(),
+		FlightsInFlight:      s.flights.inFlight(),
+		Disk:                 s.diskSnapshot(),
+		Peer:                 s.peerSnapshot(),
 		CycleCauses:          s.causeSnapshot(),
 		SchedRuns:            s.schedSnapshot(),
 		SchedMigrations:      s.schedMigrations.Load(),
@@ -191,6 +221,27 @@ func (s *Service) Stats() ServiceStats {
 		HostParEpochs:        s.hostparEpochs.Load(),
 		HostParBarriers:      s.hostparBarriers.Load(),
 		HostParCrossMessages: s.hostparCrossMsgs.Load(),
+	}
+}
+
+func (s *Service) diskSnapshot() *DiskStats {
+	if s.disk == nil {
+		return nil
+	}
+	st := s.disk.stats()
+	return &st
+}
+
+func (s *Service) peerSnapshot() *PeerStats {
+	if s.ring == nil {
+		return nil
+	}
+	return &PeerStats{
+		Self:    s.self,
+		Peers:   s.ring.Nodes(),
+		Fetches: s.peerFetches.Load(),
+		Hits:    s.peerHits.Load(),
+		Errors:  s.peerErrors.Load(),
 	}
 }
 
