@@ -12,7 +12,9 @@
 // X-Qmd-Replica response header naming the serving replica), GET
 // /healthz (200 while at least one replica is live), GET /statsz (gate
 // counters plus each replica's own /statsz), GET /metrics (Prometheus
-// text with per-replica latency histograms).
+// text with per-replica latency histograms), GET /debugz/traces
+// (?id=T stitches the gate's and every replica's spans for trace T into
+// one fleet-wide view; &format=chrome renders it for chrome://tracing).
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 
 	"queuemachine/internal/gate"
 	"queuemachine/internal/service"
+	"queuemachine/internal/xtrace"
 )
 
 func main() {
@@ -39,6 +42,9 @@ func main() {
 		healthInt = flag.Duration("health-interval", 2*time.Second, "replica health probe period")
 		maxBody   = flag.Int64("max-body", 1<<20, "request body limit in bytes")
 		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		slo       = flag.String("slo", "", "per-route latency objectives measured at the gate, e.g. run=2s (empty: no SLO tracking)")
+		traceRing = flag.Int("trace-ring", 0, "flight recorder capacity in traces (0: default 256)")
+		traceSlow = flag.Duration("trace-slow", 0, "retain traces at least this slow as outliers (0: default 1s)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -63,11 +69,19 @@ func main() {
 			urls = append(urls, r)
 		}
 	}
+	objectives, err := xtrace.ParseObjectives(*slo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qgate: -slo: %v\n", err)
+		os.Exit(2)
+	}
 	g, err := gate.New(gate.Config{
 		Replicas:       urls,
 		VirtualNodes:   *vnodes,
 		HealthInterval: *healthInt,
 		MaxBodyBytes:   *maxBody,
+		TraceCapacity:  *traceRing,
+		TraceSlow:      *traceSlow,
+		SLOs:           objectives,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qgate: %v\n", err)

@@ -11,9 +11,14 @@
 // regardless of how the server keeps up, bounded only by -max-inflight
 // (beyond which scheduled requests are counted as dropped, not delayed).
 //
-// With -min-coalesced and/or -max-5xx, qload doubles as a CI gate: it
-// exits non-zero when the run saw fewer coalesced responses or more 5xx
-// responses than allowed.
+// With -min-coalesced, -max-5xx, and/or -slo-p99, qload doubles as a CI
+// gate: it exits non-zero when the run saw fewer coalesced responses or
+// more 5xx responses than allowed, or missed its p99 latency objective
+// (-slo-report-only prints the verdict without failing). With
+// -trace-sample N every Nth request carries a fresh X-Qmd-Trace id; the
+// serving tier records those requests in its flight recorders and the
+// report lists the sampled ids slowest-first for retrieval from
+// /debugz/traces.
 package main
 
 import (
@@ -43,6 +48,9 @@ func main() {
 		jsonPath    = flag.String("json", "", "also write the full report as JSON to this file (- for stdout)")
 		minCoal     = flag.Int64("min-coalesced", -1, "fail unless at least this many responses were coalesced (-1: no gate)")
 		max5xx      = flag.Int64("max-5xx", -1, "fail if more than this many responses were 5xx (-1: no gate)")
+		traceSample = flag.Int("trace-sample", 0, "send a fresh X-Qmd-Trace id on every Nth request (0: no tracing); sampled ids land in the report, slowest first")
+		sloP99      = flag.Duration("slo-p99", 0, "p99 latency objective; the run fails when missed unless -slo-report-only (0: no objective)")
+		sloReport   = flag.Bool("slo-report-only", false, "report the -slo-p99 verdict without failing the run")
 	)
 	flag.Parse()
 	if *target == "" || flag.NArg() != 0 {
@@ -61,6 +69,8 @@ func main() {
 		MaxInFlight: *maxInflight,
 		Timeout:     *timeout,
 		Corpus:      *corpus,
+		TraceSample: *traceSample,
+		SLOP99:      *sloP99,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qload: %v\n", err)
@@ -92,6 +102,17 @@ func main() {
 	if *max5xx >= 0 && rep.Server5xx > *max5xx {
 		fmt.Fprintf(os.Stderr, "qload: GATE FAIL: %d 5xx responses, allowed <= %d\n", rep.Server5xx, *max5xx)
 		failed = true
+	}
+	if rep.SLO != nil && !rep.SLO.Pass {
+		msg := "GATE FAIL"
+		if *sloReport {
+			msg = "SLO MISS (report-only)"
+		}
+		fmt.Fprintf(os.Stderr, "qload: %s: p99 %.3fs over objective %.3fs\n",
+			msg, rep.SLO.P99Seconds, rep.SLO.TargetP99Seconds)
+		if !*sloReport {
+			failed = true
+		}
 	}
 	if rep.Completed == 0 {
 		fmt.Fprintln(os.Stderr, "qload: GATE FAIL: no requests completed")

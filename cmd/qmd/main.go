@@ -15,7 +15,9 @@
 //	                             the ring owner before compiling locally
 //
 // Endpoints: POST /compile, POST /run, GET /healthz, GET /statsz,
-// GET /metrics (Prometheus text), and — with -pprof — GET /debug/pprof/*.
+// GET /metrics (Prometheus text), GET /debugz/traces (the flight
+// recorder of recently traced requests), and — with -pprof —
+// GET /debug/pprof/*.
 // Example:
 //
 //	curl -s localhost:8344/run -d '{"source": "var v[1]:\nseq\n  v[0] := 42\n", "pes": 4}'
@@ -35,6 +37,7 @@ import (
 	"time"
 
 	"queuemachine/internal/service"
+	"queuemachine/internal/xtrace"
 )
 
 func main() {
@@ -52,6 +55,9 @@ func main() {
 		self      = flag.String("self", "", "this replica's base URL in the peer ring (required with -peers)")
 		peers     = flag.String("peers", "", "comma-separated base URLs of all replicas (including -self); empty: no peering")
 		peerTO    = flag.Duration("peer-timeout", 10*time.Second, "peer artifact fetch deadline")
+		slo       = flag.String("slo", "", "per-route latency objectives, e.g. run=2s,compile=500ms (empty: no SLO tracking)")
+		traceRing = flag.Int("trace-ring", 0, "flight recorder capacity in traces (0: default 256)")
+		traceSlow = flag.Duration("trace-slow", 0, "retain traces at least this slow as outliers (0: default 1s)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -78,6 +84,15 @@ func main() {
 			}
 		}
 	}
+	objectives, err := xtrace.ParseObjectives(*slo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qmd: -slo: %v\n", err)
+		os.Exit(2)
+	}
+	// The replica's own URL is the most useful process lane name in a
+	// stitched multi-replica trace; fall back to the generic default when
+	// running unfleeted.
+	process := *self
 	svc, err := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -89,6 +104,10 @@ func main() {
 		Self:           *self,
 		Peers:          peerList,
 		PeerTimeout:    *peerTO,
+		Process:        process,
+		TraceCapacity:  *traceRing,
+		TraceSlow:      *traceSlow,
+		SLOs:           objectives,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qmd: %v\n", err)

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync/atomic"
@@ -158,6 +159,80 @@ func (h *Histogram) Snapshot() Snapshot {
 		s.Buckets = nil
 	}
 	return s
+}
+
+// Merge folds o's observations into h, bucket by bucket, so per-shard
+// histograms aggregate into a fleet-wide one without re-observing: the
+// merged histogram is count-for-count identical to one that observed
+// every underlying sample directly. Both histograms must share the
+// bucket layout (every Histogram built by NewLatencyHistogram does).
+// Merging a histogram that is concurrently observing is safe and yields
+// some consistent interleaving.
+func (h *Histogram) Merge(o *Histogram) error {
+	if err := h.compatible(o); err != nil {
+		return err
+	}
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sumNs.Add(o.sumNs.Load())
+	for {
+		om, cur := o.maxNs.Load(), h.maxNs.Load()
+		if om <= cur || h.maxNs.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+	return nil
+}
+
+// Sub removes a previously captured baseline from h, bucket by bucket:
+// the windowed complement of Merge, for burn-rate style deltas
+// ("observations since the last scrape" = now.Sub(before)). The baseline
+// must be a snapshot of h's own past — subtracting unrelated histograms
+// underflows and is rejected. Max is not recoverable from a subtraction
+// and is conservatively retained.
+func (h *Histogram) Sub(o *Histogram) error {
+	if err := h.compatible(o); err != nil {
+		return err
+	}
+	for i := range o.counts {
+		if h.counts[i].Load() < o.counts[i].Load() {
+			return fmt.Errorf("fleet: Sub underflows bucket %d (%d < %d): baseline is not a prefix of this histogram",
+				i, h.counts[i].Load(), o.counts[i].Load())
+		}
+	}
+	for i := range o.counts {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(-c)
+		}
+	}
+	h.count.Add(-o.count.Load())
+	h.sumNs.Add(-o.sumNs.Load())
+	return nil
+}
+
+// Clone returns an independent copy of h's current state, the natural
+// baseline operand for a later Sub.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{bounds: h.bounds, counts: make([]atomic.Int64, len(h.counts))}
+	for i := range h.counts {
+		c.counts[i].Store(h.counts[i].Load())
+	}
+	c.count.Store(h.count.Load())
+	c.sumNs.Store(h.sumNs.Load())
+	c.maxNs.Store(h.maxNs.Load())
+	return c
+}
+
+func (h *Histogram) compatible(o *Histogram) error {
+	if len(h.bounds) != len(o.bounds) || len(h.counts) != len(o.counts) {
+		return fmt.Errorf("fleet: histogram layouts differ (%d vs %d buckets)",
+			len(h.counts), len(o.counts))
+	}
+	return nil
 }
 
 // Bounds exposes the bucket upper bounds (seconds) for exposition

@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestHistogramMergePropertyAgainstOracle checks, over many random
+// sample sets, that (a) merging shard histograms is count-for-count
+// identical to observing every sample on one histogram, and (b) the
+// merged quantiles stay within the bucket layout's relative-error bound
+// of a sorted-slice oracle.
+func TestHistogramMergePropertyAgainstOracle(t *testing.T) {
+	// One bucket spans a 2^(1/4) ratio and Quantile interpolates inside
+	// it, so any estimate is within one bucket ratio of the true value;
+	// allow two ratios for rank-boundary effects in the oracle.
+	maxRatio := math.Pow(2, 2.0/4)
+	for seed := uint64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewPCG(seed, seed))
+		nShards := 2 + int(rng.Uint64()%3)
+		shards := make([]*Histogram, nShards)
+		direct := NewLatencyHistogram()
+		var all []float64
+		for i := range shards {
+			shards[i] = NewLatencyHistogram()
+			n := 50 + int(rng.Uint64()%500)
+			for j := 0; j < n; j++ {
+				// Log-uniform over 60µs..60s: exercises most buckets.
+				secs := math.Exp(math.Log(60e-6) + rng.Float64()*math.Log(1e6))
+				d := time.Duration(secs * float64(time.Second))
+				shards[i].Observe(d)
+				direct.Observe(d)
+				all = append(all, d.Seconds())
+			}
+		}
+		merged := NewLatencyHistogram()
+		for _, s := range shards {
+			if err := merged.Merge(s); err != nil {
+				t.Fatalf("seed %d: Merge: %v", seed, err)
+			}
+		}
+		// (a) Bitwise agreement with direct observation.
+		if merged.Count() != direct.Count() || merged.Max() != direct.Max() {
+			t.Fatalf("seed %d: merged count/max %d/%v, direct %d/%v",
+				seed, merged.Count(), merged.Max(), direct.Count(), direct.Max())
+		}
+		for i := range merged.counts {
+			if m, d := merged.counts[i].Load(), direct.counts[i].Load(); m != d {
+				t.Fatalf("seed %d: bucket %d merged %d direct %d", seed, i, m, d)
+			}
+		}
+		if merged.sumNs.Load() != direct.sumNs.Load() {
+			t.Fatalf("seed %d: sums differ", seed)
+		}
+		// (b) Quantiles against the sorted-slice oracle.
+		sort.Float64s(all)
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			idx := int(math.Ceil(q*float64(len(all)))) - 1
+			oracle := all[idx]
+			got := merged.Quantile(q).Seconds()
+			if got/oracle > maxRatio || oracle/got > maxRatio {
+				t.Errorf("seed %d: q%.2f = %.6fs, oracle %.6fs (ratio %.3f > %.3f)",
+					seed, q, got, oracle, math.Max(got/oracle, oracle/got), maxRatio)
+			}
+		}
+	}
+}
+
+func TestHistogramSubInvertsMerge(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	base := NewLatencyHistogram()
+	for i := 0; i < 200; i++ {
+		base.Observe(time.Duration(rng.Uint64()%uint64(2*time.Second)) + time.Microsecond)
+	}
+	snapshot := base.Clone()
+	extra := NewLatencyHistogram()
+	for i := 0; i < 300; i++ {
+		d := time.Duration(rng.Uint64()%uint64(10*time.Second)) + time.Microsecond
+		extra.Observe(d)
+		base.Observe(d)
+	}
+	// base = snapshot ⊎ extra; subtracting the snapshot leaves the window.
+	window := base.Clone()
+	if err := window.Sub(snapshot); err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if window.Count() != extra.Count() {
+		t.Fatalf("window count %d, want %d", window.Count(), extra.Count())
+	}
+	for i := range window.counts {
+		if w, e := window.counts[i].Load(), extra.counts[i].Load(); w != e {
+			t.Fatalf("bucket %d: window %d extra %d", i, w, e)
+		}
+	}
+	if window.sumNs.Load() != extra.sumNs.Load() {
+		t.Fatal("window sum mismatch")
+	}
+	// The same quantiles come out as from the extra-only histogram.
+	for _, q := range []float64{0.5, 0.99} {
+		if window.Quantile(q) != extra.Quantile(q) {
+			t.Errorf("q%.2f: window %v extra %v", q, window.Quantile(q), extra.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramSubRejectsNonPrefix(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	a.Observe(time.Millisecond)
+	b.Observe(time.Minute) // different bucket: not a prefix of a
+	if err := a.Sub(b); err == nil {
+		t.Fatal("Sub accepted an underflowing baseline")
+	}
+	if a.Count() != 1 {
+		t.Fatal("rejected Sub mutated the histogram")
+	}
+}
+
+func TestHistogramMergeRejectsLayoutMismatch(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := &Histogram{bounds: []float64{1}, counts: make([]atomic.Int64, 2)}
+	if err := a.Merge(b); err == nil {
+		t.Fatal("Merge accepted a mismatched layout")
+	}
+}

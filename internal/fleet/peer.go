@@ -11,6 +11,7 @@ import (
 
 	"queuemachine/internal/compile"
 	"queuemachine/internal/isa"
+	"queuemachine/internal/xtrace"
 )
 
 // PeerHeader marks a request as originating from another replica rather
@@ -92,6 +93,11 @@ func (c *Client) FetchCompile(ctx context.Context, base, source string, opts com
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(PeerHeader, "1")
+	// A traced artifact miss stays traced across the hop: the owning
+	// peer's compile spans join the same trace, parented to the span
+	// active on ctx, so the stitched view shows the remote compile
+	// inside the requesting replica's peer.fetch span.
+	xtrace.Inject(ctx, req.Header)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: peer %s: %w", base, err)

@@ -28,12 +28,15 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"queuemachine/internal/compile"
 	"queuemachine/internal/fleet"
+	"queuemachine/internal/xtrace"
 )
 
 // ReplicaHeader names the replica that served a proxied request, set on
@@ -61,6 +64,17 @@ type Config struct {
 	// above the replicas' 2m deadline ceiling so the replica's own
 	// timeout fires first and its error document reaches the client).
 	ProxyTimeout time.Duration
+	// Process names the gate in distributed traces (default: "qgate").
+	Process string
+	// TraceCapacity and TraceSlow size the gate's own flight recorder;
+	// zero takes the recorder defaults. The gate records its routing and
+	// attempt spans here, and /debugz/traces?id=T stitches them together
+	// with the replicas' spans into the fleet-wide view.
+	TraceCapacity int
+	TraceSlow     time.Duration
+	// SLOs declares per-route latency objectives measured at the gate —
+	// the client-visible numbers, failover and queueing included.
+	SLOs []xtrace.Objective
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProxyTimeout <= 0 {
 		c.ProxyTimeout = 150 * time.Second
+	}
+	if c.Process == "" {
+		c.Process = "qgate"
 	}
 	return c
 }
@@ -100,6 +117,9 @@ type Gate struct {
 	mux      *http.ServeMux
 	start    time.Time
 	replicas map[string]*replicaState
+	tracer   *xtrace.Tracer
+	traces   *xtrace.Recorder
+	slo      *xtrace.SLOTracker // nil without Config.SLOs
 
 	requests, failovers, unrouted atomic.Int64
 }
@@ -130,7 +150,13 @@ func New(cfg Config) (*Gate, error) {
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
 		replicas: states,
+		traces: xtrace.NewRecorder(xtrace.RecorderConfig{
+			Capacity:      cfg.TraceCapacity,
+			SlowThreshold: cfg.TraceSlow,
+		}),
+		slo: xtrace.NewSLOTracker(cfg.SLOs),
 	}
+	g.tracer = xtrace.NewTracer(cfg.Process, g.traces)
 	g.mux.HandleFunc("POST /compile", func(w http.ResponseWriter, r *http.Request) {
 		g.handleProxy(w, r, "/compile")
 	})
@@ -140,6 +166,7 @@ func New(cfg Config) (*Gate, error) {
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /statsz", g.handleStatsz)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /debugz/traces", g.handleTraces)
 	return g, nil
 }
 
@@ -214,14 +241,29 @@ func shardKey(body []byte) string {
 
 func (g *Gate) handleProxy(w http.ResponseWriter, r *http.Request, path string) {
 	g.requests.Add(1)
+	start := time.Now()
+	status := &statusWriter{ResponseWriter: w}
+	defer func() {
+		st := status.status
+		if st == 0 {
+			st = http.StatusOK
+		}
+		g.slo.Observe(strings.TrimPrefix(path, "/"), time.Since(start), st)
+	}()
+	ctx, root := g.tracer.StartRequest(r, "proxy")
+	defer root.End()
+	if id := root.TraceID(); id != "" {
+		w.Header().Set(xtrace.TraceHeader, string(id))
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
-		status := http.StatusBadRequest
+		st := http.StatusBadRequest
 		if errors.As(err, &tooBig) {
-			status = http.StatusRequestEntityTooLarge
+			st = http.StatusRequestEntityTooLarge
 		}
-		writeJSON(w, status, map[string]string{"error": err.Error()})
+		root.SetError(err)
+		writeJSON(status, st, errorDoc(ctx, err.Error()))
 		return
 	}
 	key := shardKey(body)
@@ -237,7 +279,9 @@ func (g *Gate) handleProxy(w http.ResponseWriter, r *http.Request, path string) 
 		if i > 0 {
 			g.failovers.Add(1)
 		}
-		if g.tryReplica(w, r, replica, path, body) {
+		// Each attempt is its own span: a mid-request failover leaves two
+		// routing spans under one trace, the dead replica's marked failed.
+		if g.tryReplica(ctx, status, r, replica, path, body, i) {
 			return
 		}
 		if r.Context().Err() != nil {
@@ -245,29 +289,78 @@ func (g *Gate) handleProxy(w http.ResponseWriter, r *http.Request, path string) 
 		}
 	}
 	g.unrouted.Add(1)
-	writeJSON(w, http.StatusBadGateway,
-		map[string]string{"error": "no replica reachable"})
+	err = errors.New("no replica reachable")
+	root.SetError(err)
+	writeJSON(status, http.StatusBadGateway, errorDoc(ctx, err.Error()))
 }
+
+// errorDoc is a gate-originated error body; on a traced request it
+// carries the trace id like the replicas' error documents do.
+func errorDoc(ctx context.Context, msg string) map[string]string {
+	doc := map[string]string{"error": msg}
+	if id := xtrace.TraceIDFrom(ctx); id != "" {
+		doc["trace"] = string(id)
+	}
+	return doc
+}
+
+// statusWriter records the status code written through it, for SLO
+// accounting on proxied responses.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+// Flush passes through to the wrapped writer so the streaming relay's
+// per-chunk flushes survive the SLO wrapper.
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// relayChunk sizes the copy buffer used to stream proxied response
+// bodies; the gate's memory per relayed response is bounded by it no
+// matter how large the body (a dump_data run's data segment can be
+// many MiB).
+const relayChunk = 64 << 10
 
 // tryReplica proxies one attempt. It reports false only on a transport
 // error (the replica never answered), in which case the replica is
 // marked dead and nothing has been written to w — the caller may fail
-// over. Any HTTP response, error or not, is relayed as-is.
-func (g *Gate) tryReplica(w http.ResponseWriter, r *http.Request, replica, path string, body []byte) bool {
+// over. Any HTTP response, error or not, is relayed as-is, streamed
+// through a bounded buffer with a flush per chunk so large bodies reach
+// the client as they arrive instead of accumulating in gate memory.
+func (g *Gate) tryReplica(ctx context.Context, w http.ResponseWriter, r *http.Request, replica, path string, body []byte, attempt int) bool {
 	st := g.replicas[replica]
+	actx, span := xtrace.StartSpan(ctx, "gate.attempt")
+	span.SetAttr("replica", replica)
+	if attempt > 0 {
+		span.SetAttr("failover", strconv.Itoa(attempt))
+	}
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
 		replica+path, bytes.NewReader(body))
 	if err != nil {
 		st.transport.Add(1)
+		span.EndErr(err)
 		return false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	xtrace.Inject(actx, req.Header)
 	start := time.Now()
 	resp, err := g.proxy.Do(req)
 	if err != nil {
 		st.transport.Add(1)
 		st.healthy.Store(false)
 		g.ring.SetAlive(replica, false)
+		span.EndErr(err)
 		return false
 	}
 	defer resp.Body.Close()
@@ -282,8 +375,117 @@ func (g *Gate) tryReplica(w http.ResponseWriter, r *http.Request, replica, path 
 	}
 	h.Set(ReplicaHeader, replica)
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	flushCopy(w, resp.Body)
+	span.SetAttr("status", strconv.Itoa(resp.StatusCode))
+	span.End()
 	return true
+}
+
+// flushCopy streams src to w through a fixed-size buffer, flushing after
+// every chunk so the client sees bytes as the replica produces them. The
+// gate never holds more than one chunk of any response body.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, relayChunk)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleTraces serves the gate's flight recorder, and — when a trace id
+// is named — the fleet-wide stitched view: the gate's own routing spans
+// merged with every span the replicas recorded under the same id (the
+// replica that served it, the peer it fetched from). ?stitch=0 restricts
+// the answer to the gate's own spans.
+//
+//	GET /debugz/traces                 gate-local trace summaries
+//	GET /debugz/traces?id=T            fleet-stitched span set for T
+//	GET /debugz/traces?id=T&format=chrome
+//	                                   the stitched view as a Chrome
+//	                                   trace-event file
+func (g *Gate) handleTraces(w http.ResponseWriter, r *http.Request) {
+	id := xtrace.TraceID(r.URL.Query().Get("id"))
+	if id == "" || r.URL.Query().Get("stitch") == "0" {
+		g.traces.ServeHTTP(w, r)
+		return
+	}
+	spans, _ := g.traces.Get(id)
+	seen := make(map[xtrace.SpanID]bool, len(spans))
+	for _, s := range spans {
+		seen[s.ID] = true
+	}
+	for _, doc := range g.fetchTraces(r.Context(), id) {
+		for _, s := range doc.Spans {
+			if !seen[s.ID] {
+				seen[s.ID] = true
+				spans = append(spans, s)
+			}
+		}
+	}
+	if len(spans) == 0 {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": "trace not found: " + string(id)})
+		return
+	}
+	xtrace.ServeSpans(w, r, id, spans)
+}
+
+// replicaTrace is the single-trace document a replica's /debugz/traces
+// serves; the gate only needs the span list.
+type replicaTrace struct {
+	Spans []xtrace.Span `json:"spans"`
+}
+
+// fetchTraces asks every healthy replica for its spans under id. A
+// replica without the trace answers 404 and contributes nothing.
+func (g *Gate) fetchTraces(ctx context.Context, id xtrace.TraceID) []replicaTrace {
+	var mu sync.Mutex
+	var docs []replicaTrace
+	var wg sync.WaitGroup
+	for url, rs := range g.replicas {
+		if !rs.healthy.Load() {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqCtx, cancel := context.WithTimeout(ctx, g.cfg.HealthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(reqCtx, http.MethodGet,
+				url+"/debugz/traces?id="+string(id), nil)
+			if err != nil {
+				return
+			}
+			resp, err := g.proxy.Do(req)
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var doc replicaTrace
+			if json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&doc) != nil {
+				return
+			}
+			mu.Lock()
+			docs = append(docs, doc)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return docs
 }
 
 func (g *Gate) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -315,6 +517,25 @@ type Stats struct {
 	LiveReplicas  int                        `json:"live_replicas"`
 	Replicas      map[string]ReplicaStats    `json:"replicas"`
 	ReplicaStatsz map[string]json.RawMessage `json:"replica_statsz,omitempty"`
+	// FleetLatency is every replica's latency histogram merged into one —
+	// the same Histogram code path as the per-replica figures, so the
+	// aggregate quantiles are count-for-count consistent with them.
+	FleetLatency fleet.Snapshot `json:"fleet_latency"`
+	// SLOs reports the gate-measured burn state per route, present only
+	// when objectives are configured.
+	SLOs []xtrace.SLOStatus `json:"slos,omitempty"`
+	// Traces reports the gate's flight recorder.
+	Traces xtrace.RecorderStats `json:"traces"`
+}
+
+// fleetLatency merges every replica's histogram into one aggregate.
+func (g *Gate) fleetLatency() *fleet.Histogram {
+	agg := fleet.NewLatencyHistogram()
+	for _, rs := range g.replicas {
+		// Same layout by construction; Merge cannot fail here.
+		agg.Merge(rs.latency)
+	}
+	return agg
 }
 
 // Snapshot collects the gate counters; when fetchReplicas is set it also
@@ -327,6 +548,9 @@ func (g *Gate) Snapshot(ctx context.Context, fetchReplicas bool) Stats {
 		Unrouted:      g.unrouted.Load(),
 		LiveReplicas:  g.ring.LiveCount(),
 		Replicas:      make(map[string]ReplicaStats, len(g.replicas)),
+		FleetLatency:  g.fleetLatency().Snapshot(),
+		SLOs:          g.slo.Snapshot(),
+		Traces:        g.traces.Stats(),
 	}
 	for url, rs := range g.replicas {
 		st.Replicas[url] = ReplicaStats{
@@ -419,18 +643,44 @@ func (g *Gate) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			return 0
 		})
 
-	fmt.Fprintf(w, "# HELP qgate_replica_seconds Proxied request latency, by replica.\n# TYPE qgate_replica_seconds histogram\n")
-	for _, url := range urls {
-		h := g.replicas[url].latency
+	// Per-replica and fleet-aggregate latency go through the same
+	// histogram writer; the aggregate is the replicas' histograms merged,
+	// so the two sets of series always sum consistently.
+	writeHist := func(name string, labels string, h *fleet.Histogram) {
 		var cum int64
 		for i, bound := range h.Bounds() {
 			cum += h.BucketCount(i)
-			fmt.Fprintf(w, "qgate_replica_seconds_bucket{replica=%q,le=%q} %d\n",
-				url, fmt.Sprintf("%g", bound), cum)
+			fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n",
+				name, labels, fmt.Sprintf("%g", bound), cum)
 		}
 		cum += h.BucketCount(len(h.Bounds()))
-		fmt.Fprintf(w, "qgate_replica_seconds_bucket{replica=%q,le=\"+Inf\"} %d\n", url, cum)
-		fmt.Fprintf(w, "qgate_replica_seconds_count{replica=%q} %d\n", url, h.Count())
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+		countLabels := ""
+		if labels != "" {
+			countLabels = "{" + strings.TrimSuffix(labels, ",") + "}"
+		}
+		fmt.Fprintf(w, "%s_count%s %d\n", name, countLabels, h.Count())
+	}
+	fmt.Fprintf(w, "# HELP qgate_replica_seconds Proxied request latency, by replica.\n# TYPE qgate_replica_seconds histogram\n")
+	for _, url := range urls {
+		writeHist("qgate_replica_seconds", fmt.Sprintf("replica=%q,", url), g.replicas[url].latency)
+	}
+	fmt.Fprintf(w, "# HELP qgate_fleet_seconds Proxied request latency across all replicas (merged).\n# TYPE qgate_fleet_seconds histogram\n")
+	writeHist("qgate_fleet_seconds", "", g.fleetLatency())
+
+	if slos := g.slo.Snapshot(); len(slos) > 0 {
+		fmt.Fprintf(w, "# HELP qgate_slo_requests_total Requests scored against a route objective.\n# TYPE qgate_slo_requests_total counter\n")
+		for _, o := range slos {
+			fmt.Fprintf(w, "qgate_slo_requests_total{route=%q} %d\n", o.Route, o.Requests)
+		}
+		fmt.Fprintf(w, "# HELP qgate_slo_bad_total Requests burning error budget (slow or 5xx, counted once).\n# TYPE qgate_slo_bad_total counter\n")
+		for _, o := range slos {
+			fmt.Fprintf(w, "qgate_slo_bad_total{route=%q} %d\n", o.Route, o.Bad)
+		}
+		fmt.Fprintf(w, "# HELP qgate_slo_burn_rate Bad fraction over budget; 1 burns exactly at the objective.\n# TYPE qgate_slo_burn_rate gauge\n")
+		for _, o := range slos {
+			fmt.Fprintf(w, "qgate_slo_burn_rate{route=%q} %g\n", o.Route, o.BurnRate)
+		}
 	}
 }
 

@@ -1,0 +1,100 @@
+package gate
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"queuemachine/internal/service"
+)
+
+// TestRelayStreamsLargeBodies proves the gate relays response bodies as
+// they arrive instead of buffering them whole: a stub replica writes a
+// small head, flushes, and then refuses to write the multi-megabyte tail
+// until the client has already received the head *through the gate*. A
+// buffering relay deadlocks here (nothing reaches the client before the
+// replica finishes, and the replica won't finish until the client reads),
+// so a timeout on the head read is the failure signal. Gate memory stays
+// bounded by relayChunk per response regardless of body size.
+func TestRelayStreamsLargeBodies(t *testing.T) {
+	const head = "HEAD"
+	tail := bytes.Repeat([]byte("x"), 4<<20)
+	release := make(chan struct{})
+	replicaDone := make(chan struct{})
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			io.WriteString(w, `{"status":"ok"}`)
+		case "/run":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, head)
+			w.(http.Flusher).Flush()
+			<-release
+			w.Write(tail)
+			close(replicaDone)
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	defer replica.Close()
+
+	g, err := New(Config{Replicas: []string{replica.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrapped like production qgate: the access-log and SLO wrappers must
+	// pass Flush through or streaming dies at the first middleware.
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	gateSrv := httptest.NewServer(service.AccessLog(logger, g.Handler()))
+	defer gateSrv.Close()
+
+	resp, err := http.Post(gateSrv.URL+"/run", "application/json",
+		strings.NewReader(`{"source":"big"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+
+	headBuf := make([]byte, len(head))
+	got := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(resp.Body, headBuf)
+		got <- err
+	}()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("reading head: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("head never reached the client while the tail was unwritten: the gate buffered the response instead of streaming it")
+	}
+	if string(headBuf) != head {
+		t.Fatalf("head = %q, want %q", headBuf, head)
+	}
+
+	// The client saw the head while the replica still held the tail back;
+	// now let it finish and check the rest arrives intact.
+	close(release)
+	rest, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading tail: %v", err)
+	}
+	if !bytes.Equal(rest, tail) {
+		t.Fatalf("tail: got %d bytes, want %d", len(rest), len(tail))
+	}
+	select {
+	case <-replicaDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica handler never finished")
+	}
+}

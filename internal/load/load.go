@@ -33,6 +33,7 @@ import (
 	"queuemachine/internal/fleet"
 	"queuemachine/internal/gate"
 	"queuemachine/internal/workloads"
+	"queuemachine/internal/xtrace"
 )
 
 // Program is one corpus entry: a named OCCAM source.
@@ -112,6 +113,16 @@ type Options struct {
 	Timeout time.Duration
 	// Corpus names the program set (default "chapter6").
 	Corpus string
+	// TraceSample sends a fresh X-Qmd-Trace id on every Nth fired request
+	// (0 disables). The serving tier records those requests in its flight
+	// recorders, and the report lists every sampled id with its observed
+	// latency so the slowest traces can be pulled from /debugz/traces
+	// after the run.
+	TraceSample int
+	// SLOP99 declares the run's p99 latency objective; the report carries
+	// the verdict and callers (qload's -slo-p99 gate) may fail on a miss.
+	// Zero disables the check.
+	SLOP99 time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -169,7 +180,34 @@ type Report struct {
 	// Server5xx totals responses with status >= 500.
 	Server5xx int64          `json:"server_5xx"`
 	Latency   fleet.Snapshot `json:"latency"`
+	// SLO is the run's latency verdict, present when an objective was
+	// declared (Options.SLOP99).
+	SLO *SLOOutcome `json:"slo,omitempty"`
+	// SampledTraces lists the trace-sampled requests slowest-first, so
+	// `head -n` of the list is exactly "the N slowest sampled traces".
+	// Present when Options.TraceSample > 0.
+	SampledTraces []SampledTrace `json:"sampled_traces,omitempty"`
 }
+
+// SLOOutcome scores the whole run against its p99 objective.
+type SLOOutcome struct {
+	TargetP99Seconds float64 `json:"target_p99_seconds"`
+	P99Seconds       float64 `json:"p99_seconds"`
+	Pass             bool    `json:"pass"`
+}
+
+// SampledTrace is one trace-sampled request's outcome: the id to look up
+// in a flight recorder, and what the client observed.
+type SampledTrace struct {
+	ID             string  `json:"id"`
+	Status         int     `json:"status"`
+	LatencySeconds float64 `json:"latency_seconds"`
+	TransportError bool    `json:"transport_error,omitempty"`
+}
+
+// maxSampledTraces bounds the sampled-trace list so an extreme
+// rate×duration×sample combination cannot grow the report unboundedly.
+const maxSampledTraces = 4096
 
 // collector accumulates results from concurrent request goroutines.
 type collector struct {
@@ -180,9 +218,10 @@ type collector struct {
 	completed int64
 	transport int64
 	hist      *fleet.Histogram
+	sampled   []SampledTrace
 }
 
-func (c *collector) response(status int, cacheState, replica string, d time.Duration) {
+func (c *collector) response(status int, cacheState, replica string, trace xtrace.TraceID, d time.Duration) {
 	c.hist.Observe(d)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -194,12 +233,20 @@ func (c *collector) response(status int, cacheState, replica string, d time.Dura
 	if replica != "" {
 		c.replicas[replica]++
 	}
+	if trace != "" && len(c.sampled) < maxSampledTraces {
+		c.sampled = append(c.sampled, SampledTrace{
+			ID: string(trace), Status: status, LatencySeconds: d.Seconds(),
+		})
+	}
 }
 
-func (c *collector) transportError() {
+func (c *collector) transportError(trace xtrace.TraceID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.transport++
+	if trace != "" && len(c.sampled) < maxSampledTraces {
+		c.sampled = append(c.sampled, SampledTrace{ID: string(trace), TransportError: true})
+	}
 }
 
 // Run offers load against target (a qmd replica or a qgate front proxy)
@@ -273,11 +320,15 @@ func Run(ctx context.Context, target string, opts Options) (*Report, error) {
 		}
 		sent++
 		body := bodies[zipf.Uint64()]
+		var trace xtrace.TraceID
+		if opts.TraceSample > 0 && sent%int64(opts.TraceSample) == 1 {
+			trace = xtrace.NewTraceID()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			fire(ctx, client, target, body, col)
+			fire(ctx, client, target, body, trace, col)
 		}()
 	}
 	wg.Wait()
@@ -320,22 +371,41 @@ func Run(ctx context.Context, target string, opts Options) (*Report, error) {
 		served := col.cache["hit"] + col.cache["disk"] + col.cache["peer"]
 		rep.CacheHitRate = float64(served) / float64(ok2xx)
 	}
+	if len(col.sampled) > 0 {
+		rep.SampledTraces = col.sampled
+		sort.Slice(rep.SampledTraces, func(i, j int) bool {
+			return rep.SampledTraces[i].LatencySeconds > rep.SampledTraces[j].LatencySeconds
+		})
+	}
+	if opts.SLOP99 > 0 {
+		p99 := col.hist.Quantile(0.99)
+		rep.SLO = &SLOOutcome{
+			TargetP99Seconds: opts.SLOP99.Seconds(),
+			P99Seconds:       p99.Seconds(),
+			Pass:             p99 <= opts.SLOP99,
+		}
+	}
 	return rep, nil
 }
 
 // fire sends one request and records its outcome. Transport errors and
 // responses are both terminal outcomes: open-loop load never retries.
-func fire(ctx context.Context, client *http.Client, target string, body []byte, col *collector) {
+func fire(ctx context.Context, client *http.Client, target string, body []byte, trace xtrace.TraceID, col *collector) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/run", bytes.NewReader(body))
 	if err != nil {
-		col.transportError()
+		col.transportError(trace)
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != "" {
+		// A minted trace id is all it takes: the gate (or replica) opens
+		// its root span under this id and records the trace server-side.
+		req.Header.Set(xtrace.TraceHeader, string(trace))
+	}
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		col.transportError()
+		col.transportError(trace)
 		return
 	}
 	d := time.Since(start)
@@ -344,7 +414,7 @@ func fire(ctx context.Context, client *http.Client, target string, body []byte, 
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	col.response(resp.StatusCode, resp.Header.Get("X-Qmd-Cache"),
-		resp.Header.Get(gate.ReplicaHeader), d)
+		resp.Header.Get(gate.ReplicaHeader), trace, d)
 }
 
 // WriteText renders the report for humans.
@@ -366,6 +436,22 @@ func (r *Report) WriteText(w io.Writer) {
 	fmt.Fprintf(w, "latency      p50 %s  p90 %s  p99 %s  p999 %s  max %s  (mean %s, n=%d)\n",
 		fmtSecs(l.P50Seconds), fmtSecs(l.P90Seconds), fmtSecs(l.P99Seconds),
 		fmtSecs(l.P999Seconds), fmtSecs(l.MaxSeconds), fmtSecs(l.MeanSeconds), l.Count)
+	if r.SLO != nil {
+		verdict := "PASS"
+		if !r.SLO.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "slo          p99 %s vs objective %s: %s\n",
+			fmtSecs(r.SLO.P99Seconds), fmtSecs(r.SLO.TargetP99Seconds), verdict)
+	}
+	if n := len(r.SampledTraces); n > 0 {
+		show := min(n, 5)
+		fmt.Fprintf(w, "traces       %d sampled; slowest:", n)
+		for _, st := range r.SampledTraces[:show] {
+			fmt.Fprintf(w, " %s(%s)", st.ID, fmtSecs(st.LatencySeconds))
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 func fmtSecs(s float64) string {

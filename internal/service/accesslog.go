@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"sync/atomic"
 	"time"
+
+	"queuemachine/internal/xtrace"
 )
 
 // cacheHeader is the response header the compile and run handlers set to
@@ -36,6 +38,14 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Flush passes through so handlers that stream (the gate relay) keep
+// their per-chunk flushes when wrapped by AccessLog or the SLO recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // AccessLog wraps a handler with structured request logging: one line per
 // request with the request id, route, status, duration, and — when the
 // artifact cache was consulted — whether it hit.
@@ -58,6 +68,12 @@ func AccessLog(l *slog.Logger, h http.Handler) http.Handler {
 		}
 		if cache := w.Header().Get(cacheHeader); cache != "" {
 			attrs = append(attrs, slog.String("cache", cache))
+		}
+		// Handlers echo a traced request's id on the response; lifting it
+		// here gives qmd access lines and qgate relay lines the same
+		// trace field, greppable straight into /debugz/traces.
+		if trace := w.Header().Get(xtrace.TraceHeader); trace != "" {
+			attrs = append(attrs, slog.String("trace", trace))
 		}
 		l.LogAttrs(r.Context(), levelFor(status), "request", attrs...)
 	})

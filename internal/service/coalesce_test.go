@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -240,7 +241,7 @@ func TestRetryAfterJitter(t *testing.T) {
 	seen := map[int]bool{}
 	for i := 0; i < 200; i++ {
 		rec := httptest.NewRecorder()
-		svc.error(rec, errBusy)
+		svc.error(context.Background(), rec, errBusy)
 		if rec.Code != http.StatusTooManyRequests {
 			t.Fatalf("status = %d, want 429", rec.Code)
 		}

@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"sync"
+
+	"queuemachine/internal/xtrace"
 )
 
 // flightGroup coalesces concurrent identical work (singleflight): while a
@@ -25,6 +27,10 @@ type flight struct {
 	done chan struct{} // closed when val/err are set
 	val  any
 	err  error
+	// trace is the leader's trace id (possibly empty), recorded so a
+	// coalesced follower's join span can point at the trace that did the
+	// actual work. Set once at flight creation, read-only after.
+	trace xtrace.TraceID
 	// waiters counts the requests (leader included) still waiting on the
 	// flight; when it reaches zero before completion nobody wants the
 	// result and the work's context is cancelled. Guarded by the group mu.
@@ -34,7 +40,9 @@ type flight struct {
 
 // do executes fn for key, coalescing with any in-flight call under the
 // same key. It returns fn's value and error, plus shared=true when this
-// caller joined an existing flight rather than leading one.
+// caller joined an existing flight rather than leading one, and the
+// leading request's trace id so a traced follower can link its join span
+// to the trace that carried the work (empty for an untraced leader).
 //
 // The work runs under a context detached from any single request's
 // cancellation: the leader's deadline bounds it (so a flight can never
@@ -42,7 +50,7 @@ type flight struct {
 // early only when every waiter has abandoned the flight. A follower whose
 // own request context expires leaves with its ctx error without
 // disturbing the flight.
-func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (v any, err error, shared bool) {
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (any, error)) (v any, err error, shared bool, leader xtrace.TraceID) {
 	g.mu.Lock()
 	if g.flights == nil {
 		g.flights = make(map[string]*flight)
@@ -52,13 +60,13 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 		g.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.val, f.err, true
+			return f.val, f.err, true, f.trace
 		case <-ctx.Done():
 			g.abandon(f)
-			return nil, ctx.Err(), true
+			return nil, ctx.Err(), true, f.trace
 		}
 	}
-	f := &flight{done: make(chan struct{}), waiters: 1}
+	f := &flight{done: make(chan struct{}), waiters: 1, trace: xtrace.TraceIDFrom(ctx)}
 	// Detach from the leader's cancellation but keep its deadline: a
 	// coalesced run must not die because one browser tab closed, yet it
 	// must still respect the admission deadline it was started under.
@@ -84,10 +92,10 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Contex
 
 	select {
 	case <-f.done:
-		return f.val, f.err, false
+		return f.val, f.err, false, f.trace
 	case <-ctx.Done():
 		g.abandon(f)
-		return nil, ctx.Err(), false
+		return nil, ctx.Err(), false, f.trace
 	}
 }
 

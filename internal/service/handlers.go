@@ -20,6 +20,7 @@ import (
 	"queuemachine/internal/profile"
 	"queuemachine/internal/sched"
 	"queuemachine/internal/sim"
+	"queuemachine/internal/xtrace"
 )
 
 // compileOptions is the wire form of compile.Options; the shape lives in
@@ -134,8 +135,11 @@ func retryAfter() string {
 	return strconv.Itoa(retryAfterMin + rand.IntN(retryAfterMax-retryAfterMin+1))
 }
 
-// error writes the structured JSON error document for err.
-func (s *Service) error(w http.ResponseWriter, err error) {
+// error writes the structured JSON error document for err. On a traced
+// request the document carries the trace id — the handle that finds the
+// failure in a flight recorder — and the active span is marked failed so
+// the trace is retained as an error outlier.
+func (s *Service) error(ctx context.Context, w http.ResponseWriter, err error) {
 	status := toStatus(err)
 	if status == http.StatusTooManyRequests {
 		s.rejected.Add(1)
@@ -143,7 +147,35 @@ func (s *Service) error(w http.ResponseWriter, err error) {
 	} else {
 		s.fails.Add(1)
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	doc := map[string]string{"error": err.Error()}
+	if id := xtrace.TraceIDFrom(ctx); id != "" {
+		doc["trace"] = string(id)
+		xtrace.CurrentSpan(ctx).SetError(err)
+	}
+	writeJSON(w, status, doc)
+}
+
+// echoTrace reflects a traced request's id back on the response so a
+// client (or the qload sampler) can find the trace in /debugz/traces
+// without parsing the body.
+func echoTrace(w http.ResponseWriter, root *xtrace.ActiveSpan) {
+	if id := root.TraceID(); id != "" {
+		w.Header().Set(xtrace.TraceHeader, string(id))
+	}
+}
+
+// joinSpan records a coalesced follower's wait as a zero-work `join`
+// span: it began when the follower entered the flight (start) and points
+// at the leader's trace, where the compile/simulate spans actually live.
+func joinSpan(ctx context.Context, start time.Time, leader xtrace.TraceID) {
+	_, sp := xtrace.StartSpanAt(ctx, "join", start)
+	if sp == nil {
+		return
+	}
+	if leader != "" {
+		sp.SetAttr("leader_trace", string(leader))
+	}
+	sp.End()
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -189,7 +221,10 @@ const (
 // the client's fault, not the server's: 422.
 func (s *Service) materialize(ctx context.Context, src string, opts compile.Options, fp string, allowPeer bool) (*compile.Artifact, string, error) {
 	if s.disk != nil {
-		if art, ok := s.disk.get(fp); ok {
+		_, ds := xtrace.StartSpan(ctx, "disk.read")
+		art, ok := s.disk.get(fp)
+		ds.End()
+		if ok {
 			s.cache.add(fp, art)
 			return art, cacheStateDisk, nil
 		}
@@ -197,8 +232,13 @@ func (s *Service) materialize(ctx context.Context, src string, opts compile.Opti
 	if s.ring != nil && allowPeer {
 		if owner := s.ring.Owner(fp); owner != "" && owner != s.self {
 			s.peerFetches.Add(1)
-			obj, err := s.peers.FetchCompile(ctx, owner, src, opts)
+			// The fetch runs under its own span's context so the peer's
+			// compile spans arrive parented to it across the hop.
+			pctx, ps := xtrace.StartSpan(ctx, "peer.fetch")
+			ps.SetAttr("peer", owner)
+			obj, err := s.peers.FetchCompile(pctx, owner, src, opts)
 			if err == nil {
+				ps.End()
 				s.peerHits.Add(1)
 				art := &compile.Artifact{Object: obj}
 				s.cache.add(fp, art)
@@ -206,13 +246,18 @@ func (s *Service) materialize(ctx context.Context, src string, opts compile.Opti
 			}
 			// A dead or slow owner degrades to a local compile; the
 			// request must not fail because a peer did.
+			ps.EndErr(err)
 			s.peerErrors.Add(1)
 		}
 	}
+	_, cs := xtrace.StartSpan(ctx, "compile")
 	art, err := compile.Compile(src, opts)
 	if err != nil {
-		return nil, cacheStateMiss, &httpError{http.StatusUnprocessableEntity, err.Error()}
+		herr := &httpError{http.StatusUnprocessableEntity, err.Error()}
+		cs.EndErr(herr)
+		return nil, cacheStateMiss, herr
 	}
+	cs.End()
 	s.cache.add(fp, art)
 	if s.disk != nil {
 		s.disk.put(fp, art)
@@ -225,10 +270,20 @@ func (s *Service) materialize(ctx context.Context, src string, opts compile.Opti
 // reaches it; coalesced followers never get here, which is what keeps
 // them out of the cache accounting.
 func (s *Service) artifactFor(ctx context.Context, src string, opts compile.Options, fp string, allowPeer bool) (*compile.Artifact, string, error) {
-	if art, ok := s.cache.get(fp); ok {
-		return art, cacheStateHit, nil
+	ctx, span := xtrace.StartSpan(ctx, "artifact")
+	art, state, err := func() (*compile.Artifact, string, error) {
+		if art, ok := s.cache.get(fp); ok {
+			return art, cacheStateHit, nil
+		}
+		return s.materialize(ctx, src, opts, fp, allowPeer)
+	}()
+	span.SetAttr("cache", state)
+	if err != nil {
+		span.EndErr(err)
+	} else {
+		span.End()
 	}
-	return s.materialize(ctx, src, opts, fp, allowPeer)
+	return art, state, err
 }
 
 // allowPeer reports whether this request may be forwarded to a peer
@@ -241,17 +296,20 @@ func allowPeer(r *http.Request) bool {
 func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 	defer s.observe("compile", time.Now())
 	s.compiles.Add(1)
+	rctx, root := s.tracer.StartRequest(r, "compile")
+	defer root.End()
+	echoTrace(w, root)
 	if s.draining.Load() {
-		s.error(w, errClosed)
+		s.error(rctx, w, errClosed)
 		return
 	}
 	var req compileRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.error(w, err)
+		s.error(rctx, w, err)
 		return
 	}
 	if req.Source == "" {
-		s.error(w, badRequest("missing source"))
+		s.error(rctx, w, badRequest("missing source"))
 		return
 	}
 	opts := req.Options.ToCompile()
@@ -262,15 +320,17 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 	// entry is not charged as a miss here — the flight leader's counting
 	// lookup below decides hit or miss exactly once per coalition.
 	if art, ok := s.cache.peek(fp); ok {
+		root.SetAttr("cache", cacheStateHit)
 		resp := newCompileResponse(fp, cacheStateHit, art)
 		w.Header().Set(cacheHeader, resp.CacheState)
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	peerOK := allowPeer(r)
-	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	ctx, cancel := context.WithTimeout(rctx, s.deadline(req.TimeoutMS))
 	defer cancel()
-	v, err, shared := s.flights.do(ctx, "compile\x00"+fp, func(ctx context.Context) (any, error) {
+	flightStart := time.Now()
+	v, err, shared, leader := s.flights.do(ctx, "compile\x00"+fp, func(ctx context.Context) (any, error) {
 		return s.execute(ctx, func(ctx context.Context) (any, error) {
 			art, state, err := s.artifactFor(ctx, req.Source, opts, fp, peerOK)
 			if err != nil {
@@ -281,9 +341,10 @@ func (s *Service) handleCompile(w http.ResponseWriter, r *http.Request) {
 	})
 	if shared {
 		s.coalescedCompiles.Add(1)
+		joinSpan(ctx, flightStart, leader)
 	}
 	if err != nil {
-		s.error(w, err)
+		s.error(ctx, w, err)
 		return
 	}
 	if cr, ok := v.(*compileResponse); ok {
@@ -345,17 +406,20 @@ func (k runKey) String() string {
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	defer s.observe("run", time.Now())
 	s.runs.Add(1)
+	rctx, root := s.tracer.StartRequest(r, "run")
+	defer root.End()
+	echoTrace(w, root)
 	if s.draining.Load() {
-		s.error(w, errClosed)
+		s.error(rctx, w, errClosed)
 		return
 	}
 	var req runRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.error(w, err)
+		s.error(rctx, w, err)
 		return
 	}
 	if (req.Source == "") == (req.Object == nil) {
-		s.error(w, badRequest("provide exactly one of source and object"))
+		s.error(rctx, w, badRequest("provide exactly one of source and object"))
 		return
 	}
 	pes := req.PEs
@@ -363,7 +427,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		pes = 1
 	}
 	if pes < 1 || pes > s.cfg.MaxPEs {
-		s.error(w, badRequest("pes %d out of range [1, %d]", pes, s.cfg.MaxPEs))
+		s.error(rctx, w, badRequest("pes %d out of range [1, %d]", pes, s.cfg.MaxPEs))
 		return
 	}
 	params := *s.cfg.Sim
@@ -371,7 +435,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		dec := json.NewDecoder(bytes.NewReader(req.Params))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&params); err != nil {
-			s.error(w, badRequest("malformed params: %v", err))
+			s.error(rctx, w, badRequest("malformed params: %v", err))
 			return
 		}
 	}
@@ -379,7 +443,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		params.Scheduler.Policy = req.Scheduler
 	}
 	if !sched.Valid(params.Scheduler.Policy) {
-		s.error(w, badRequest("unknown scheduler %q (valid: %s)",
+		s.error(rctx, w, badRequest("unknown scheduler %q (valid: %s)",
 			params.Scheduler.Policy, strings.Join(sched.Names(), ", ")))
 		return
 	}
@@ -389,7 +453,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	if _, err := params.HostWorkers(pes); err != nil {
 		// A worker count the machine cannot shard is the client's
 		// configuration mistake; reject before admitting the run.
-		s.error(w, badRequest("%v", err))
+		s.error(rctx, w, badRequest("%v", err))
 		return
 	}
 	// The response only carries the data segment when the client asked
@@ -404,7 +468,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	} else {
 		blob, err := json.Marshal(req.Object)
 		if err != nil {
-			s.error(w, badRequest("malformed object: %v", err))
+			s.error(rctx, w, badRequest("malformed object: %v", err))
 			return
 		}
 		sum := sha256.Sum256(blob)
@@ -412,9 +476,10 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	peerOK := allowPeer(r)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.TimeoutMS))
+	ctx, cancel := context.WithTimeout(rctx, s.deadline(req.TimeoutMS))
 	defer cancel()
-	v, err, shared := s.flights.do(ctx, key.String(), func(ctx context.Context) (any, error) {
+	flightStart := time.Now()
+	v, err, shared, leader := s.flights.do(ctx, key.String(), func(ctx context.Context) (any, error) {
 		return s.execute(ctx, func(ctx context.Context) (any, error) {
 			resp := &runResponse{}
 			obj := req.Object
@@ -427,6 +492,13 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 				resp.Cached, resp.CacheState = state != cacheStateMiss, state
 			}
 			var profiler *profile.Profiler
+			// The simulate span is the wall-clock face of the run: its
+			// attributes name the same execution the simulated-machine
+			// artifacts describe (internal/trace timelines, the
+			// internal/profile attribution on the response), so a stitched
+			// trace links to them by fingerprint and cycle count.
+			sctx, sspan := xtrace.StartSpan(ctx, "simulate")
+			sspan.SetAttr("pes", strconv.Itoa(pes))
 			simStart := time.Now()
 			var res *sim.Result
 			var err error
@@ -441,13 +513,14 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 					}
 					profiler.SetGraphNames(names)
 					sys.SetRecorder(profiler)
-					res, err = sys.RunContext(ctx)
+					res, err = sys.RunContext(sctx)
 				}
 			} else {
-				res, err = sim.RunContext(ctx, obj, pes, params)
+				res, err = sim.RunContext(sctx, obj, pes, params)
 			}
 			simTime := time.Since(simStart)
 			if err != nil {
+				sspan.EndErr(err)
 				if ctx.Err() != nil {
 					return nil, err // maps to 504 via the wrapped context error
 				}
@@ -455,6 +528,13 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 				// properties of the submitted program.
 				return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
 			}
+			sspan.SetAttr("scheduler", params.Scheduler.Name())
+			sspan.SetAttr("cycles", strconv.FormatInt(res.Cycles, 10))
+			sspan.SetAttr("instructions", strconv.FormatInt(res.Instructions, 10))
+			if profiler != nil {
+				sspan.SetAttr("profiled", "true")
+			}
+			sspan.End()
 			s.cyclesServed.Add(res.Cycles)
 			s.instrsServed.Add(res.Instructions)
 			s.simNanos.Add(int64(simTime))
@@ -477,9 +557,10 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 	if shared {
 		s.coalescedRuns.Add(1)
+		joinSpan(ctx, flightStart, leader)
 	}
 	if err != nil {
-		s.error(w, err)
+		s.error(ctx, w, err)
 		return
 	}
 	if rr, ok := v.(*runResponse); ok {

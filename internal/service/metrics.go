@@ -138,6 +138,33 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		counter("qmd_peer_errors_total", "Peer fetches that failed and degraded to a local compile.",
 			"", st.Peer.Errors)
 	}
+	if len(st.SLOs) > 0 {
+		reqPairs := make([]any, 0, 2*len(st.SLOs))
+		slowPairs := make([]any, 0, 2*len(st.SLOs))
+		errPairs := make([]any, 0, 2*len(st.SLOs))
+		badPairs := make([]any, 0, 2*len(st.SLOs))
+		for _, o := range st.SLOs {
+			label := fmt.Sprintf("{route=%q}", o.Route)
+			reqPairs = append(reqPairs, label, o.Requests)
+			slowPairs = append(slowPairs, label, o.Slow)
+			errPairs = append(errPairs, label, o.Errors)
+			badPairs = append(badPairs, label, o.Bad)
+		}
+		counter("qmd_slo_requests_total", "Requests scored against a route objective.", reqPairs...)
+		counter("qmd_slo_slow_total", "Requests over the route's latency objective.", slowPairs...)
+		counter("qmd_slo_errors_total", "Requests answered 5xx on an objective route.", errPairs...)
+		counter("qmd_slo_bad_total", "Requests burning error budget (slow or 5xx, counted once).", badPairs...)
+		fmt.Fprintf(w, "# HELP qmd_slo_burn_rate Bad fraction over budget; 1 burns exactly at the objective.\n# TYPE qmd_slo_burn_rate gauge\n")
+		for _, o := range st.SLOs {
+			fmt.Fprintf(w, "qmd_slo_burn_rate{route=%q} %g\n", o.Route, o.BurnRate)
+		}
+	}
+	counter("qmd_trace_committed_total", "Traces committed to the flight recorder.",
+		"", st.Traces.Committed)
+	counter("qmd_trace_evicted_total", "Traces aged off the recorder ring.",
+		"", st.Traces.Evicted)
+	gauge("qmd_trace_resident", "Traces resident in the recorder (ring plus outliers).",
+		st.Traces.Resident+st.Traces.Outliers)
 	gauge("qmd_pool_workers", "Worker pool size.", st.Workers)
 	gauge("qmd_pool_in_flight", "Jobs currently executing.", st.InFlight)
 	gauge("qmd_pool_queued", "Jobs waiting in the admission queue.", st.Queued)

@@ -12,6 +12,9 @@
 //	GET  /statsz    service, queue, and cache counters (JSON)
 //	GET  /metrics   the same counters in Prometheus text format, plus
 //	                per-endpoint latency histograms
+//	GET  /debugz/traces  the flight recorder: recently completed request
+//	                traces plus retained slow/error outliers (JSON, or
+//	                Chrome trace-event format with ?id=T&format=chrome)
 //	GET  /debug/pprof/*  runtime profiles, only when Config.EnablePprof
 //
 // Compiled artifacts are keyed by compile.Fingerprint — the SHA-256 of
@@ -29,12 +32,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"queuemachine/internal/fleet"
 	"queuemachine/internal/sim"
+	"queuemachine/internal/xtrace"
 )
 
 // Config sizes the service. The zero value is usable: every field falls
@@ -81,6 +86,21 @@ type Config struct {
 	// PeerTimeout bounds each peer artifact fetch (default: 10s). A slow
 	// or dead peer degrades to a local compile, never to a failed request.
 	PeerTimeout time.Duration
+	// Process names this replica in distributed traces — the process lane
+	// a span renders under in a stitched view (default: "qmd"; cmd/qmd
+	// sets it to the replica's own base URL when one is configured).
+	Process string
+	// TraceCapacity sizes the flight recorder's ring of recent traces and
+	// TraceSlow its slow-outlier threshold; zero takes the recorder
+	// defaults (256 traces, 1s). Tracing itself needs no enabling: a
+	// request is traced when it arrives with an X-Qmd-Trace header, and an
+	// untraced request pays one header lookup.
+	TraceCapacity int
+	TraceSlow     time.Duration
+	// SLOs declares per-route latency objectives ("run" and "compile" are
+	// the route names); burn-rate counters appear in /statsz and /metrics.
+	// Empty disables SLO tracking entirely.
+	SLOs []xtrace.Objective
 }
 
 func (c Config) withDefaults() Config {
@@ -109,6 +129,9 @@ func (c Config) withDefaults() Config {
 		p := sim.DefaultParams()
 		c.Sim = &p
 	}
+	if c.Process == "" {
+		c.Process = "qmd"
+	}
 	return c
 }
 
@@ -125,6 +148,9 @@ type Service struct {
 	mux     *http.ServeMux
 	start   time.Time
 	latency map[string]*histogram // per-endpoint request latency
+	tracer  *xtrace.Tracer
+	traces  *xtrace.Recorder
+	slo     *xtrace.SLOTracker // nil without Config.SLOs
 
 	draining                        atomic.Bool
 	compiles, runs, rejected, fails atomic.Int64
@@ -172,7 +198,13 @@ func New(cfg Config) (*Service, error) {
 			"compile": newHistogram(latencyBuckets),
 			"run":     newHistogram(latencyBuckets),
 		},
+		traces: xtrace.NewRecorder(xtrace.RecorderConfig{
+			Capacity:      cfg.TraceCapacity,
+			SlowThreshold: cfg.TraceSlow,
+		}),
+		slo: xtrace.NewSLOTracker(cfg.SLOs),
 	}
+	s.tracer = xtrace.NewTracer(cfg.Process, s.traces)
 	if cfg.CacheDir != "" {
 		disk, err := openDiskCache(cfg.CacheDir)
 		if err != nil {
@@ -196,6 +228,7 @@ func New(cfg Config) (*Service, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debugz/traces", s.traces.ServeHTTP)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -215,13 +248,29 @@ func (s *Service) Handler() http.Handler {
 		defer func() {
 			if rec := recover(); rec != nil && rec != http.ErrAbortHandler {
 				s.fails.Add(1)
+				doc := map[string]string{"error": fmt.Sprintf("request rejected: %v", rec)}
+				if id := r.Header.Get(xtrace.TraceHeader); id != "" {
+					doc["trace"] = id
+				}
 				// Best effort: if the handler already wrote a header this
 				// is a no-op on the status line.
-				writeJSON(w, http.StatusBadRequest,
-					map[string]string{"error": fmt.Sprintf("request rejected: %v", rec)})
+				writeJSON(w, http.StatusBadRequest, doc)
 			}
 		}()
-		s.mux.ServeHTTP(w, r)
+		if s.slo == nil {
+			s.mux.ServeHTTP(w, r)
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		s.mux.ServeHTTP(rec, r)
+		status := rec.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		// Routes are named without the slash ("run", "compile"); the
+		// tracker ignores routes without a declared objective.
+		s.slo.Observe(strings.TrimPrefix(r.URL.Path, "/"), time.Since(start), status)
 	})
 }
 
@@ -242,7 +291,11 @@ func (s *Service) execute(ctx context.Context, f func(context.Context) (any, err
 		err error
 	}
 	ch := make(chan outcome, 1)
+	// The span covers the time between submission and a worker picking the
+	// job up — on a loaded service this is where latency hides.
+	_, wait := xtrace.StartSpan(ctx, "queue.wait")
 	err := s.pool.submit(func() {
+		wait.End()
 		// The request may have expired while queued; don't start work
 		// nobody is waiting for.
 		if err := ctx.Err(); err != nil {
@@ -264,6 +317,7 @@ func (s *Service) execute(ctx context.Context, f func(context.Context) (any, err
 		ch <- outcome{v, err}
 	})
 	if err != nil {
+		wait.EndErr(err)
 		return nil, err
 	}
 	select {

@@ -6,6 +6,7 @@ import (
 	"queuemachine/internal/profile"
 	"queuemachine/internal/sim"
 	"queuemachine/internal/trace"
+	"queuemachine/internal/xtrace"
 )
 
 // RunStats is the machine-readable view of one simulation run, shared by
@@ -171,6 +172,11 @@ type ServiceStats struct {
 	HostParEpochs        int64 `json:"hostpar_epochs"`
 	HostParBarriers      int64 `json:"hostpar_barriers"`
 	HostParCrossMessages int64 `json:"hostpar_cross_messages"`
+	// SLOs reports each declared objective's burn state, present only when
+	// the service was configured with objectives.
+	SLOs []xtrace.SLOStatus `json:"slos,omitempty"`
+	// Traces reports the flight recorder behind /debugz/traces.
+	Traces xtrace.RecorderStats `json:"traces"`
 }
 
 // PeerStats is the /statsz view of the peer artifact tier: this
@@ -221,6 +227,8 @@ func (s *Service) Stats() ServiceStats {
 		HostParEpochs:        s.hostparEpochs.Load(),
 		HostParBarriers:      s.hostparBarriers.Load(),
 		HostParCrossMessages: s.hostparCrossMsgs.Load(),
+		SLOs:                 s.slo.Snapshot(),
+		Traces:               s.traces.Stats(),
 	}
 }
 

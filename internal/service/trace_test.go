@@ -1,0 +1,278 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"queuemachine/internal/compile"
+	"queuemachine/internal/fleet"
+	"queuemachine/internal/xtrace"
+)
+
+// tracedPost sends body as JSON with an X-Qmd-Trace header and returns
+// the response.
+func tracedPost(t *testing.T, url string, id xtrace.TraceID, body any) (*http.Response, []byte) {
+	t.Helper()
+	blob, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(xtrace.TraceHeader, string(id))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// spanNames indexes spans by name for assertion convenience.
+func spanNames(spans []xtrace.Span) map[string][]xtrace.Span {
+	byName := make(map[string][]xtrace.Span)
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	return byName
+}
+
+// TestTracedRunRecordsSpanTree drives one traced /run and checks the
+// recorder holds the full span tree: root, queue wait, artifact
+// resolution with its compile, and the simulation — all under the
+// client's trace id, parented back to the root.
+func TestTracedRunRecordsSpanTree(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	id := xtrace.NewTraceID()
+	resp, raw := tracedPost(t, ts.URL+"/run", id, map[string]any{"source": sumSquares, "pes": 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get(xtrace.TraceHeader); got != string(id) {
+		t.Errorf("response trace header = %q, want %q", got, id)
+	}
+
+	spans, ok := svc.traces.Get(id)
+	if !ok {
+		t.Fatal("traced request not in the flight recorder")
+	}
+	byName := spanNames(spans)
+	for _, want := range []string{"run", "queue.wait", "artifact", "compile", "simulate"} {
+		if len(byName[want]) == 0 {
+			t.Errorf("no %q span recorded; have %v", want, names(spans))
+		}
+	}
+	roots := byName["run"]
+	if len(roots) != 1 {
+		t.Fatalf("want exactly one root span, got %d", len(roots))
+	}
+	root := roots[0]
+	if root.Parent != "" {
+		t.Errorf("root span has parent %q, want none", root.Parent)
+	}
+	// Every recorded span belongs to this trace and (except the root)
+	// hangs off some other recorded span.
+	ids := make(map[xtrace.SpanID]bool, len(spans))
+	for _, s := range spans {
+		if s.Trace != id {
+			t.Errorf("span %s carries trace %q, want %q", s.Name, s.Trace, id)
+		}
+		ids[s.ID] = true
+	}
+	for _, s := range spans {
+		if s.ID != root.ID && !ids[s.Parent] {
+			t.Errorf("span %s parent %q is not a recorded span", s.Name, s.Parent)
+		}
+	}
+	if sim := byName["simulate"][0]; sim.Attrs["cycles"] == "" || sim.Attrs["pes"] != "2" {
+		t.Errorf("simulate span attrs = %v, want cycles and pes=2", sim.Attrs)
+	}
+	if art := byName["artifact"][0]; art.Attrs["cache"] != cacheStateMiss {
+		t.Errorf("artifact cache attr = %q, want %q", art.Attrs["cache"], cacheStateMiss)
+	}
+}
+
+func names(spans []xtrace.Span) []string {
+	out := make([]string, len(spans))
+	for i, s := range spans {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// TestUntracedRequestRecordsNothing: without a trace header (and without
+// a sampler) the recorder stays empty — tracing is strictly opt-in per
+// request.
+func TestUntracedRequestRecordsNothing(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	status, raw := post(t, ts.URL+"/run", map[string]any{"source": sumSquares}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, raw)
+	}
+	if st := svc.traces.Stats(); st.Committed != 0 {
+		t.Errorf("untraced request committed %d traces", st.Committed)
+	}
+}
+
+// TestErrorBodyCarriesTraceID: a traced request that fails returns the
+// trace id in its error document — the handle that finds the failure in
+// the flight recorder — and the recorded root span is marked failed.
+func TestErrorBodyCarriesTraceID(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	id := xtrace.NewTraceID()
+	resp, raw := tracedPost(t, ts.URL+"/run", id, map[string]any{"source": "not occam at all ("})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, raw)
+	}
+	var doc struct {
+		Error string `json:"error"`
+		Trace string `json:"trace"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("error body %q: %v", raw, err)
+	}
+	if doc.Error == "" || doc.Trace != string(id) {
+		t.Fatalf("error doc = %+v, want error text and trace %q", doc, id)
+	}
+	spans, ok := svc.traces.Get(id)
+	if !ok {
+		t.Fatal("failed request's trace not recorded")
+	}
+	var rootErr string
+	for _, s := range spans {
+		if s.Parent == "" {
+			rootErr = s.Error
+		}
+	}
+	if rootErr == "" {
+		t.Error("root span of a failed request carries no error")
+	}
+}
+
+// TestFollowerJoinsAlreadyFinishedFlight covers the race where a flight
+// completes between the follower's map lookup and its wait: the done
+// channel is already closed when the follower selects on it. The
+// follower must still get the leader's value, be reported as shared, and
+// learn the leader's trace id — and the function must not run again.
+func TestFollowerJoinsAlreadyFinishedFlight(t *testing.T) {
+	leaderTrace := xtrace.NewTraceID()
+	f := &flight{
+		done:    make(chan struct{}),
+		val:     "leader-result",
+		trace:   leaderTrace,
+		waiters: 1,
+		cancel:  func() {},
+	}
+	close(f.done) // finished before the follower arrives
+	g := &flightGroup{flights: map[string]*flight{"k": f}}
+
+	ran := false
+	v, err, shared, leader := g.do(context.Background(), "k", func(context.Context) (any, error) {
+		ran = true
+		return nil, nil
+	})
+	if ran {
+		t.Error("follower re-executed a finished flight's work")
+	}
+	if err != nil || v != "leader-result" {
+		t.Errorf("got (%v, %v), want the leader's result", v, err)
+	}
+	if !shared {
+		t.Error("joining a finished flight not reported as shared")
+	}
+	if leader != leaderTrace {
+		t.Errorf("leader trace = %q, want %q", leader, leaderTrace)
+	}
+}
+
+// TestPeerFetchOneHopBound: a compile that already arrived from a peer
+// is answered locally even when the ring says another replica owns the
+// fingerprint — forwarding it again could bounce between replicas
+// forever. Without the peer marker the same request does consult the
+// owner.
+func TestPeerFetchOneHopBound(t *testing.T) {
+	var peerHits int
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peerHits++
+		// Refusing is fine: the fetch attempt is what is under test, and
+		// a failed peer degrades to a local compile.
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer peer.Close()
+
+	self := "http://self.invalid"
+	peers := []string{self, peer.URL}
+	svc, err := New(Config{Workers: 2, Self: self, Peers: peers, PeerTimeout: time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Find a source the ring assigns to the other replica.
+	ring := fleet.NewRing(peers, 0)
+	var src string
+	for i := 0; ; i++ {
+		if i > 200 {
+			t.Fatal("no source owned by the peer replica")
+		}
+		candidate := fmt.Sprintf("var v[1]:\nseq\n  v[0] := %d\n", i)
+		if ring.Owner(compile.Fingerprint(candidate, compile.Options{})) == peer.URL {
+			src = candidate
+			break
+		}
+	}
+
+	// Arriving from a peer: answered locally, no fetch.
+	blob, _ := json.Marshal(map[string]any{"source": src})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/compile", bytes.NewReader(blob))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(fleet.PeerHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer-marked compile: status %d", resp.StatusCode)
+	}
+	if peerHits != 0 || svc.peerFetches.Load() != 0 {
+		t.Fatalf("peer-marked request forwarded anyway (hits=%d, fetches=%d)",
+			peerHits, svc.peerFetches.Load())
+	}
+
+	// The same program arriving from a client: the owner is consulted.
+	// A different source keeps the first compile's cache entry out of the way.
+	var src2 string
+	for i := 1000; ; i++ {
+		if i > 1200 {
+			t.Fatal("no second source owned by the peer replica")
+		}
+		candidate := fmt.Sprintf("var v[1]:\nseq\n  v[0] := %d\n", i)
+		if ring.Owner(compile.Fingerprint(candidate, compile.Options{})) == peer.URL {
+			src2 = candidate
+			break
+		}
+	}
+	status, raw := post(t, ts.URL+"/compile", map[string]any{"source": src2}, nil)
+	if status != http.StatusOK {
+		t.Fatalf("client compile: status %d: %s", status, raw)
+	}
+	if svc.peerFetches.Load() != 1 {
+		t.Errorf("peerFetches = %d, want 1", svc.peerFetches.Load())
+	}
+	if peerHits == 0 {
+		t.Error("owner replica never consulted for a client request")
+	}
+}

@@ -1,0 +1,99 @@
+package xtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// chromeEvent is the subset of the Chrome trace-event format the export
+// uses: complete ("X") duration events plus process/thread metadata, the
+// same dialect internal/trace emits for simulator traces.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts,omitempty"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace renders spans as a Chrome trace-event file: one pid per
+// process, spans stacked on lanes within it, so chrome://tracing (or
+// Perfetto) shows the cross-process request waterfall. Lanes are
+// assigned greedily by start time, so overlapping siblings (a failover's
+// two attempts racing a deadline, say) land on separate rows instead of
+// rendering as a corrupt nest.
+func ChromeTrace(spans []Span) []byte {
+	byStart := append([]Span(nil), spans...)
+	sort.Slice(byStart, func(i, j int) bool {
+		if byStart[i].StartUS != byStart[j].StartUS {
+			return byStart[i].StartUS < byStart[j].StartUS
+		}
+		return byStart[i].DurUS > byStart[j].DurUS // parents before children
+	})
+
+	pids := make(map[string]int)
+	var events []chromeEvent
+	// laneEnd[pid][lane] is when that lane frees up; a span takes the
+	// first lane whose occupant ended at or before its start, nesting
+	// children under parents naturally (a child starts after its parent
+	// and the parent's lane is still busy).
+	laneEnd := make(map[int][]int64)
+	for _, s := range byStart {
+		pid, ok := pids[s.Process]
+		if !ok {
+			pid = len(pids)
+			pids[s.Process] = pid
+			events = append(events, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": s.Process},
+			})
+		}
+		lanes := laneEnd[pid]
+		lane := -1
+		for i, end := range lanes {
+			if end <= s.StartUS {
+				lane = i
+				break
+			}
+		}
+		if lane == -1 {
+			lane = len(lanes)
+			lanes = append(lanes, 0)
+		}
+		lanes[lane] = s.StartUS + s.DurUS
+		laneEnd[pid] = lanes
+
+		args := map[string]any{"trace": string(s.Trace), "span": string(s.ID)}
+		for k, v := range s.Attrs {
+			args[k] = v
+		}
+		if s.Error != "" {
+			args["error"] = s.Error
+		}
+		dur := s.DurUS
+		if dur <= 0 {
+			dur = 1 // chrome drops zero-width complete events
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X", Ts: s.StartUS, Dur: dur,
+			Pid: pid, Tid: lane, Args: args,
+		})
+	}
+	blob, err := json.Marshal(map[string]any{"traceEvents": events})
+	if err != nil {
+		// The event structs are plain data; marshal cannot fail.
+		return []byte(`{"traceEvents":[]}`)
+	}
+	return blob
+}
+
+func writeTraceJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
